@@ -1,0 +1,38 @@
+"""Ablation: the SAT conflict-budget schedule C.
+
+Section II-D bounds the inner solver by conflicts for replicability, and
+section IV grows C from 10k to 100k when no new facts appear.  This bench
+sweeps the starting budget on a Simon instance and reports facts learnt
+per conflict spent.
+"""
+
+import pytest
+
+from repro.anf import AnfSystem
+from repro.ciphers import simon
+from repro.core import Config, propagate, run_sat
+
+
+@pytest.fixture(scope="module")
+def system_factory():
+    inst = simon.generate_instance(2, 4, seed=66)
+
+    def make():
+        system = AnfSystem(inst.ring.clone(), inst.polynomials)
+        propagate(system)
+        return system
+
+    return make
+
+
+@pytest.mark.parametrize("budget", [100, 1000, 10000])
+def test_conflict_budget_sweep(benchmark, system_factory, budget):
+    def run():
+        return run_sat(system_factory(), Config(), conflict_budget=budget)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    benchmark.extra_info["status"] = str(result.status)
+    benchmark.extra_info["facts"] = len(result.facts)
+    benchmark.extra_info["conflicts"] = result.conflicts
+    assert result.status is not False  # the instance is satisfiable

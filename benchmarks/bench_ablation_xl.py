@@ -1,0 +1,42 @@
+"""Ablation: XL parameters (degree D and subsample budget M).
+
+Section IV runs a single configuration (M=30, δM=4, D=1); the discussion
+invites running "with different parameters".  This bench quantifies the
+fact-yield/cost trade-off of D and M on a Simon instance.
+"""
+
+import pytest
+
+from repro.ciphers import simon
+from repro.core import Config, run_xl
+
+
+@pytest.fixture(scope="module")
+def polynomials():
+    return simon.generate_instance(2, 4, seed=77).polynomials
+
+
+@pytest.mark.parametrize("degree", [0, 1, 2])
+def test_xl_degree_sweep(benchmark, polynomials, degree):
+    cfg = Config(xl_sample_bits=12, xl_degree=degree,
+                 xl_max_rows=2000, xl_max_cols=3000)
+
+    result = benchmark(run_xl, polynomials, cfg)
+
+    benchmark.extra_info["facts"] = len(result.facts)
+    benchmark.extra_info["rows"] = result.expanded_rows
+    benchmark.extra_info["cols"] = result.columns
+    if degree == 0:
+        # Degree 0 only re-reduces the sample: no multiplication happens.
+        assert result.expanded_rows <= len(polynomials)
+
+
+@pytest.mark.parametrize("sample_bits", [8, 12, 16])
+def test_xl_sample_budget_sweep(benchmark, polynomials, sample_bits):
+    cfg = Config(xl_sample_bits=sample_bits, xl_degree=1,
+                 xl_max_rows=4000, xl_max_cols=4000)
+
+    result = benchmark(run_xl, polynomials, cfg)
+
+    benchmark.extra_info["facts"] = len(result.facts)
+    benchmark.extra_info["sampled"] = result.sampled

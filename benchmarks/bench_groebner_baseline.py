@@ -1,0 +1,60 @@
+"""The M4GB baseline role (paper section IV, footnote on memory blow-up).
+
+The paper reports that the best off-the-shelf Groebner engine, M4GB,
+"has such a high memory footprint that it times out on all the
+instances".  Our budgeted Buchberger plays that role: on a cipher-scale
+system the pair queue explodes and the budget cuts it off without
+producing a decision, while Bosphorus's targeted fact learning solves the
+same instance.
+"""
+
+import pytest
+
+from repro.ciphers import simon
+from repro.core import Bosphorus, Config, buchberger
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return simon.generate_instance(2, 4, seed=88)
+
+
+def test_groebner_blows_budget_on_cipher(benchmark, instance):
+    result = benchmark.pedantic(
+        buchberger,
+        args=(list(instance.polynomials),),
+        kwargs={"max_pairs": 300, "max_basis": 200},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["complete"] = result.complete
+    benchmark.extra_info["basis_size"] = len(result.basis)
+    # The paper's observation, reproduced: the budget is exhausted before
+    # the computation finishes.
+    assert not result.complete
+
+
+def test_bosphorus_solves_what_groebner_cannot(benchmark, instance):
+    cfg = Config(xl_sample_bits=12, elimlin_sample_bits=12,
+                 sat_conflict_start=3000, sat_conflict_max=9000,
+                 max_iterations=5)
+
+    result = benchmark.pedantic(
+        lambda: Bosphorus(cfg).preprocess_anf(
+            instance.ring.clone(), instance.polynomials
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.status == "sat"
+    assert result.solution.satisfies(instance.polynomials)
+
+
+def test_groebner_succeeds_on_small_systems(benchmark):
+    """On toy systems (where M4GB would also work) Buchberger completes."""
+    from repro.anf import parse_system
+
+    _, polys = parse_system("x1*x2 + x3\nx2 + x3 + 1\nx1*x3 + x1")
+
+    result = benchmark(buchberger, polys)
+    assert result.complete

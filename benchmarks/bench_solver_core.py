@@ -1,0 +1,58 @@
+"""Substrate micro-benchmarks: CDCL throughput and GF(2) elimination.
+
+Not a paper artifact, but the costs every Table II number sits on: how
+fast the pure-Python CDCL propagates/learns, and how fast the bit-packed
+Gauss–Jordan (the M4RI stand-in) reduces XL-sized matrices.
+"""
+
+import random
+
+import pytest
+
+from repro.gf2 import GF2Matrix
+from repro.sat import Solver, mk_lit
+from repro.satcomp import generators
+
+
+def test_cdcl_random3sat_threshold(benchmark):
+    formula = generators.random_ksat(120, 500, 3, seed=9)
+
+    def solve():
+        solver = Solver()
+        solver.ensure_vars(formula.n_vars)
+        for c in formula.clauses:
+            solver.add_clause(c)
+        verdict = solver.solve(conflict_budget=20000)
+        return solver, verdict
+
+    solver, verdict = benchmark.pedantic(solve, rounds=1, iterations=1)
+    benchmark.extra_info["conflicts"] = solver.num_conflicts
+    benchmark.extra_info["propagations"] = solver.num_propagations
+    benchmark.extra_info["verdict"] = str(verdict)
+
+
+def test_cdcl_pigeonhole_unsat(benchmark):
+    def solve():
+        solver = Solver()
+        f = generators.pigeonhole(7)
+        for c in f.clauses:
+            solver.add_clause(c)
+        return solver.solve(conflict_budget=100000)
+
+    verdict = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert verdict is False
+
+
+def test_gf2_rref_xl_sized(benchmark):
+    rng = random.Random(4)
+    rows = [
+        [rng.randrange(600) for _ in range(10)] for _ in range(800)
+    ]
+
+    def reduce():
+        m = GF2Matrix.from_rows(rows, 600)
+        m.rref()
+        return m
+
+    m = benchmark(reduce)
+    assert m.n_rows == 800

@@ -1,0 +1,40 @@
+"""Table I: the XL worked example.
+
+Expanding {x1x2 + x1 + 1, x2x3 + x3} by degree-1 monomials and running
+Gauss–Jordan must retain the facts {x1 + 1, x2, x3} — the last three rows
+of Table I(b).  The benchmark measures the XL pass itself.
+"""
+
+from repro.anf import parse_system
+from repro.core import Config, run_xl
+
+
+def _example():
+    _, polys = parse_system("x1*x2 + x1 + 1\nx2*x3 + x3")
+    return polys
+
+
+def test_table1_facts(benchmark):
+    polys = _example()
+    cfg = Config(xl_sample_bits=4, xl_degree=1)
+
+    result = benchmark(run_xl, polys, cfg)
+
+    texts = {p.to_string() for p in result.facts}
+    assert {"x1 + 1", "x2", "x3"} <= texts
+    # Table I(a) shows 7 rows: 2 originals + 3 products of the first
+    # equation + 2 of the second (x2 * (x2x3 + x3) vanishes and is,
+    # as the caption says, omitted).
+    assert result.expanded_rows == 7
+    benchmark.extra_info["facts"] = sorted(texts)
+
+
+def test_table1_column_count(benchmark):
+    """The linearised Table I system has exactly 8 monomial columns."""
+    polys = _example()
+
+    def expand_and_count():
+        return run_xl(polys, Config(xl_sample_bits=4, xl_degree=1)).columns
+
+    columns = benchmark(expand_and_count)
+    assert columns == 8

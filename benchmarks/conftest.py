@@ -1,0 +1,51 @@
+"""Shared benchmark configuration.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_COUNT``  — instances per benchmark family (default 2),
+* ``REPRO_BENCH_TIMEOUT`` — per-instance timeout in seconds (default 10),
+
+Every Table II bench prints the paper-style rows it regenerates, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+tables directly.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import Config
+
+
+def bench_count(default: int = 2) -> int:
+    return int(os.environ.get("REPRO_BENCH_COUNT", default))
+
+
+def bench_timeout(default: float = 10.0) -> float:
+    return float(os.environ.get("REPRO_BENCH_TIMEOUT", default))
+
+
+def fast_config() -> Config:
+    """The scaled-down Bosphorus config used by the Table II benches."""
+    return Config(
+        xl_sample_bits=12,
+        elimlin_sample_bits=12,
+        sat_conflict_start=1000,
+        sat_conflict_step=1000,
+        sat_conflict_max=5000,
+        max_iterations=4,
+    )
+
+
+@pytest.fixture
+def table_printer():
+    """Print a Table II block after the run (visible with -s)."""
+
+    def _print(title, text):
+        print()
+        print("=" * 70)
+        print(title)
+        print("=" * 70)
+        print(text)
+
+    return _print

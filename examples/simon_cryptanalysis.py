@@ -1,0 +1,67 @@
+"""Algebraic key recovery on round-reduced Simon32/64 (paper appendix B).
+
+Generates a Simon-[n, r] instance — ``n`` plaintext/ciphertext pairs in
+the Similar-Plaintexts setting under one random secret key — encodes it
+as an ANF with the 64 key bits unknown, runs Bosphorus, and checks that
+the recovered key re-encrypts every plaintext to the right ciphertext.
+
+Run:  python examples/simon_cryptanalysis.py [rounds]
+"""
+
+import sys
+import time
+
+from repro import Bosphorus, Config
+from repro.ciphers import simon
+
+
+def main(rounds: int = 4, n_plaintexts: int = 2, seed: int = 2024):
+    print("Generating Simon-[{},{}] instance (seed {})...".format(
+        n_plaintexts, rounds, seed
+    ))
+    instance = simon.generate_instance(n_plaintexts, rounds, seed=seed)
+    print("   {} variables, {} equations, secret key {}".format(
+        instance.n_vars, len(instance.polynomials),
+        " ".join("{:04x}".format(w) for w in instance.key_words),
+    ))
+
+    config = Config(
+        xl_sample_bits=12,
+        elimlin_sample_bits=12,
+        sat_conflict_start=3000,
+        sat_conflict_max=15000,
+        max_iterations=6,
+    )
+    start = time.monotonic()
+    result = Bosphorus(config).preprocess_anf(instance.ring, instance.polynomials)
+    elapsed = time.monotonic() - start
+
+    print("Bosphorus finished in {:.2f}s: status={}, facts={}".format(
+        elapsed, result.status, result.facts.summary()
+    ))
+    if result.status != "sat":
+        print("No model found within the budgets; try fewer rounds.")
+        return 1
+
+    key_words = []
+    for w in range(4):
+        word = 0
+        for b in range(16):
+            word |= result.solution[w * 16 + b] << b
+        key_words.append(word)
+    print("Recovered key: " + " ".join("{:04x}".format(w) for w in key_words))
+
+    for pt, ct in zip(instance.plaintexts, instance.ciphertexts):
+        got = simon.encrypt(pt, key_words, rounds)
+        status = "ok" if got == ct else "MISMATCH"
+        print("   P=({:04x},{:04x}) -> C=({:04x},{:04x}) [{}]".format(
+            pt[0], pt[1], got[0], got[1], status
+        ))
+        assert got == ct, "recovered key fails to reproduce a ciphertext"
+    print("Key recovery verified on all {} pairs.".format(n_plaintexts))
+    return 0
+
+
+if __name__ == "__main__":
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    sys.exit(main(rounds))

@@ -1,0 +1,109 @@
+"""Monomials of Boolean polynomials.
+
+A monomial is a product of distinct Boolean variables.  Because we work in
+the Boolean quotient ring GF(2)[x1..xn] / (x_i^2 + x_i), exponents never
+exceed one, so a monomial is fully described by the *set* of variables it
+contains.  We represent a monomial as a sorted tuple of variable indices;
+the empty tuple is the constant monomial ``1``.
+
+Tuples (rather than frozensets) keep a total order for free, which gives us
+deterministic iteration and a ready-made degree-lexicographic comparison for
+the Groebner-basis code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+Monomial = Tuple[int, ...]
+
+#: The constant monomial ``1`` (the product of zero variables).
+ONE: Monomial = ()
+
+
+def make(variables: Iterable[int]) -> Monomial:
+    """Build a monomial from an iterable of variable indices.
+
+    Duplicates collapse (``x * x = x`` in the Boolean ring) and the result
+    is sorted so equal monomials compare equal.
+
+    >>> make([3, 1, 3])
+    (1, 3)
+    """
+    return tuple(sorted(set(variables)))
+
+
+def degree(m: Monomial) -> int:
+    """Number of variables in the monomial; the constant ``1`` has degree 0."""
+    return len(m)
+
+
+def mul(a: Monomial, b: Monomial) -> Monomial:
+    """Product of two monomials (variable-set union).
+
+    >>> mul((1, 2), (2, 3))
+    (1, 2, 3)
+    """
+    if not a:
+        return b
+    if not b:
+        return a
+    # Merge two sorted tuples, dropping duplicates.
+    out = []
+    i = j = 0
+    la, lb = len(a), len(b)
+    while i < la and j < lb:
+        x, y = a[i], b[j]
+        if x < y:
+            out.append(x)
+            i += 1
+        elif x > y:
+            out.append(y)
+            j += 1
+        else:
+            out.append(x)
+            i += 1
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return tuple(out)
+
+
+def contains(m: Monomial, var: int) -> bool:
+    """True if ``var`` divides the monomial."""
+    return var in m
+
+
+def divides(a: Monomial, b: Monomial) -> bool:
+    """True if monomial ``a`` divides monomial ``b`` (subset of variables)."""
+    if len(a) > len(b):
+        return False
+    bs = set(b)
+    return all(v in bs for v in a)
+
+
+def remove(m: Monomial, var: int) -> Monomial:
+    """The monomial with ``var`` divided out; ``m`` must contain ``var``."""
+    return tuple(v for v in m if v != var)
+
+
+def lcm(a: Monomial, b: Monomial) -> Monomial:
+    """Least common multiple (same as the product in a Boolean ring)."""
+    return mul(a, b)
+
+
+def evaluate(m: Monomial, assignment) -> int:
+    """Evaluate the monomial under a variable assignment.
+
+    ``assignment`` may be a mapping or a sequence indexed by variable.
+    Returns 0 or 1.
+    """
+    for v in m:
+        if not assignment[v]:
+            return 0
+    return 1
+
+
+def deglex_key(m: Monomial):
+    """Sort key for degree-lexicographic monomial order (used by Buchberger)."""
+    return (len(m), m)

@@ -1,0 +1,125 @@
+"""Text format for ANF problems.
+
+The format mirrors the Bosphorus tool's ``.anf`` input: one polynomial
+equation per line, monomials joined with ``+`` (XOR), variables joined with
+``*`` (AND).  Variables are written ``x<N>``; named variables are accepted
+when a ring with names is supplied.  Lines starting with ``c`` or ``#`` are
+comments.  Example::
+
+    c round-reduced toy system
+    x1*x2 + x1 + 1
+    x2*x3 + x3
+
+Every line asserts that the polynomial equals zero.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, TextIO, Tuple
+
+from .polynomial import Poly
+from .ring import Ring
+
+_TOKEN = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|\d+|\+|\*|\(|\))")
+
+
+class AnfParseError(ValueError):
+    """Raised on malformed ANF text."""
+
+
+def parse_polynomial(text: str, ring: Ring) -> Poly:
+    """Parse one polynomial, growing ``ring`` with any new variables.
+
+    Grammar: ``poly := term ('+' term)*``, ``term := factor ('*' factor)*``,
+    ``factor := var | '0' | '1' | '(' poly ')'``.
+    """
+    tokens = _tokenize(text)
+    poly, pos = _parse_sum(tokens, 0, ring)
+    if pos != len(tokens):
+        raise AnfParseError("trailing input in {!r}".format(text))
+    return poly
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        m = _TOKEN.match(text, pos)
+        if not m:
+            raise AnfParseError("bad character at {!r}".format(text[pos:]))
+        tokens.append(m.group(1))
+        pos = m.end()
+    return tokens
+
+
+def _parse_sum(tokens, pos, ring) -> Tuple[Poly, int]:
+    acc, pos = _parse_term(tokens, pos, ring)
+    while pos < len(tokens) and tokens[pos] == "+":
+        term, pos = _parse_term(tokens, pos + 1, ring)
+        acc = acc + term
+    return acc, pos
+
+
+def _parse_term(tokens, pos, ring) -> Tuple[Poly, int]:
+    acc, pos = _parse_factor(tokens, pos, ring)
+    while pos < len(tokens) and tokens[pos] == "*":
+        fac, pos = _parse_factor(tokens, pos + 1, ring)
+        acc = acc * fac
+    return acc, pos
+
+
+def _parse_factor(tokens, pos, ring) -> Tuple[Poly, int]:
+    if pos >= len(tokens):
+        raise AnfParseError("unexpected end of polynomial")
+    tok = tokens[pos]
+    if tok == "(":
+        inner, pos = _parse_sum(tokens, pos + 1, ring)
+        if pos >= len(tokens) or tokens[pos] != ")":
+            raise AnfParseError("unbalanced parentheses")
+        return inner, pos + 1
+    if tok == "0":
+        return Poly.zero(), pos + 1
+    if tok == "1":
+        return Poly.one(), pos + 1
+    if tok.isdigit():
+        raise AnfParseError("coefficient {!r} not in GF(2)".format(tok))
+    try:
+        idx = ring.index_of(tok)
+    except KeyError:
+        if tok.startswith("x") and tok[1:].isdigit():
+            idx = int(tok[1:])
+            ring.ensure(idx)
+        else:
+            idx = ring.new_variable(tok)
+    return Poly.variable(idx), pos + 1
+
+
+def parse_system(text: str, ring: Optional[Ring] = None) -> Tuple[Ring, List[Poly]]:
+    """Parse a whole ANF file body into ``(ring, polynomials)``."""
+    ring = ring if ring is not None else Ring()
+    polys = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("c "):
+            continue
+        if line == "c":
+            continue
+        polys.append(parse_polynomial(line, ring))
+    return ring, polys
+
+
+def read_anf(f: TextIO, ring: Optional[Ring] = None) -> Tuple[Ring, List[Poly]]:
+    """Read an ANF problem from an open text file."""
+    return parse_system(f.read(), ring)
+
+
+def write_anf(f: TextIO, polynomials, ring: Optional[Ring] = None) -> None:
+    """Write polynomials in the ``.anf`` text format, one per line."""
+    names = ring.names() if ring is not None else None
+    for p in polynomials:
+        f.write(p.to_string(names))
+        f.write("\n")

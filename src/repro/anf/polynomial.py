@@ -1,0 +1,343 @@
+"""Boolean polynomials over GF(2).
+
+A :class:`Poly` is an XOR (GF(2) sum) of monomials.  It is the reproduction
+of the PolyBoRi Boolean-polynomial object the paper builds on: immutable,
+hashable, with ring arithmetic in the Boolean quotient ring where
+``x^2 = x`` and ``p + p = 0``.
+
+Design notes
+------------
+* The internal representation is a ``frozenset`` of monomials (sorted int
+  tuples, see :mod:`repro.anf.monomial`).  XOR of polynomials is then the
+  symmetric difference of sets, which Python does natively and fast.
+* Polynomials are value objects.  All "mutation" in the rest of the code
+  base (propagation, substitution, ElimLin) builds new polynomials, which
+  mirrors the paper's design where only ANF propagation replaces the master
+  system.
+* Throughout the code base a polynomial always means the *equation*
+  ``p = 0``, exactly as in the paper ("we use the term polynomial to mean
+  polynomial equation equated to zero").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from . import monomial as mono
+from .monomial import Monomial
+
+
+class Poly:
+    """An immutable Boolean polynomial (XOR of monomials) over GF(2)."""
+
+    __slots__ = ("_monomials", "_hash")
+
+    def __init__(self, monomials: Iterable[Monomial] = ()):
+        """Build a polynomial from monomials, cancelling pairs mod 2.
+
+        Accepts any iterable of monomials.  Repeated monomials cancel in
+        pairs, so ``Poly([(1,), (1,)])`` is the zero polynomial.
+        """
+        seen: Set[Monomial] = set()
+        for m in monomials:
+            if m in seen:
+                seen.discard(m)
+            else:
+                seen.add(m)
+        self._monomials: FrozenSet[Monomial] = frozenset(seen)
+        self._hash: Optional[int] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Poly":
+        """The zero polynomial (the trivially true equation ``0 = 0``)."""
+        return _ZERO
+
+    @staticmethod
+    def one() -> "Poly":
+        """The constant ``1`` (the contradictory equation ``1 = 0``)."""
+        return _ONE
+
+    @staticmethod
+    def variable(index: int) -> "Poly":
+        """The polynomial consisting of the single variable ``x_index``."""
+        return Poly([(index,)])
+
+    @staticmethod
+    def constant(value: int) -> "Poly":
+        """``Poly.one()`` if value is odd else ``Poly.zero()``."""
+        return _ONE if value & 1 else _ZERO
+
+    @staticmethod
+    def from_monomial(m: Monomial) -> "Poly":
+        """A polynomial with exactly one monomial."""
+        return Poly([m])
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def monomials(self) -> FrozenSet[Monomial]:
+        """The set of monomials with coefficient 1."""
+        return self._monomials
+
+    def __len__(self) -> int:
+        return len(self._monomials)
+
+    def __iter__(self) -> Iterator[Monomial]:
+        return iter(self._monomials)
+
+    def __bool__(self) -> bool:
+        return bool(self._monomials)
+
+    def is_zero(self) -> bool:
+        """True for the zero polynomial."""
+        return not self._monomials
+
+    def is_one(self) -> bool:
+        """True for the constant-1 polynomial (the equation ``1 = 0``)."""
+        return self._monomials == _ONE_SET
+
+    def is_constant(self) -> bool:
+        """True for 0 or 1."""
+        return not self._monomials or self._monomials == _ONE_SET
+
+    def has_constant_term(self) -> bool:
+        """True if the constant monomial ``1`` appears in the sum."""
+        return mono.ONE in self._monomials
+
+    def degree(self) -> int:
+        """Total degree: the largest monomial degree (0 for constants)."""
+        if not self._monomials:
+            return 0
+        return max(len(m) for m in self._monomials)
+
+    def variables(self) -> Set[int]:
+        """The set of variable indices occurring in the polynomial."""
+        out: Set[int] = set()
+        for m in self._monomials:
+            out.update(m)
+        return out
+
+    def is_linear(self) -> bool:
+        """True if every monomial has degree at most one."""
+        return all(len(m) <= 1 for m in self._monomials)
+
+    def leading_monomial(self) -> Monomial:
+        """Largest monomial in degree-lexicographic order.
+
+        Raises ``ValueError`` on the zero polynomial.
+        """
+        if not self._monomials:
+            raise ValueError("zero polynomial has no leading monomial")
+        return max(self._monomials, key=mono.deglex_key)
+
+    # -- classification of the paper's fact shapes --------------------------
+
+    def as_unit(self) -> Optional[Tuple[int, int]]:
+        """Recognise the unit facts ``x`` or ``x + 1``.
+
+        Returns ``(variable, value)`` where value is the forced assignment
+        (``x`` forces 0, ``x + 1`` forces 1), or None if not a unit.
+        """
+        ms = self._monomials
+        if len(ms) == 1:
+            (m,) = ms
+            if len(m) == 1:
+                return (m[0], 0)
+            return None
+        if len(ms) == 2 and mono.ONE in ms:
+            other = next(m for m in ms if m)
+            if len(other) == 1:
+                return (other[0], 1)
+        return None
+
+    def as_equivalence(self) -> Optional[Tuple[int, int, int]]:
+        """Recognise the equivalence facts ``x + y`` or ``x + y + 1``.
+
+        Returns ``(x, y, c)`` meaning ``x = y ⊕ c`` with x > y, or None.
+        """
+        ms = self._monomials
+        c = 1 if mono.ONE in ms else 0
+        vs = [m for m in ms if m]
+        if len(vs) != 2 or len(ms) != 2 + c:
+            return None
+        if any(len(m) != 1 for m in vs):
+            return None
+        a, b = vs[0][0], vs[1][0]
+        if a < b:
+            a, b = b, a
+        return (a, b, c)
+
+    def as_monomial_assignment(self) -> Optional[Monomial]:
+        """Recognise the facts ``x_{i1}..x_{ip} + 1`` with p >= 1.
+
+        These force every participating variable to 1 (paper fact type 2).
+        Returns the monomial, or None.
+        """
+        ms = self._monomials
+        if len(ms) == 2 and mono.ONE in ms:
+            other = next(m for m in ms if m)
+            return other
+        return None
+
+    def as_linear_equation(self) -> Optional[Tuple[Tuple[int, ...], int]]:
+        """Decompose a linear polynomial as ``(variables, constant)``.
+
+        Returns None if the polynomial is not linear.  The equation reads
+        ``x_{v1} + ... + x_{vk} + c = 0``.
+        """
+        if not self.is_linear():
+            return None
+        const = 1 if mono.ONE in self._monomials else 0
+        vs = tuple(sorted(m[0] for m in self._monomials if m))
+        return (vs, const)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "Poly") -> "Poly":
+        """GF(2) addition (XOR): symmetric difference of monomial sets."""
+        p = Poly.__new__(Poly)
+        p._monomials = self._monomials ^ other._monomials
+        p._hash = None
+        return p
+
+    __xor__ = __add__
+    __sub__ = __add__
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        """Boolean-ring product; distributes and cancels mod 2."""
+        if not self._monomials or not other._monomials:
+            return _ZERO
+        acc: Set[Monomial] = set()
+        for a in self._monomials:
+            for b in other._monomials:
+                m = mono.mul(a, b)
+                if m in acc:
+                    acc.discard(m)
+                else:
+                    acc.add(m)
+        p = Poly.__new__(Poly)
+        p._monomials = frozenset(acc)
+        p._hash = None
+        return p
+
+    def add_constant(self, value: int) -> "Poly":
+        """``self + value`` for value in {0, 1}."""
+        if value & 1:
+            return self + _ONE
+        return self
+
+    def substitute(self, var: int, replacement: "Poly") -> "Poly":
+        """Replace every occurrence of ``var`` by ``replacement``.
+
+        Used by ElimLin's variable elimination and by ANF propagation
+        (with constant or single-variable replacements).
+        """
+        untouched: Set[Monomial] = set()
+        acc: Set[Monomial] = set()
+        hit = False
+        for m in self._monomials:
+            if var not in m:
+                untouched.add(m)
+                continue
+            hit = True
+            rest = mono.remove(m, var)
+            for r in replacement._monomials:
+                prod = mono.mul(rest, r)
+                if prod in acc:
+                    acc.discard(prod)
+                else:
+                    acc.add(prod)
+        if not hit:
+            return self
+        p = Poly.__new__(Poly)
+        p._monomials = frozenset(untouched) ^ frozenset(acc)
+        p._hash = None
+        return p
+
+    def substitute_many(self, mapping: Dict[int, "Poly"]) -> "Poly":
+        """Simultaneously substitute several variables.
+
+        The substitution is simultaneous: replacement polynomials are *not*
+        themselves rewritten, matching GJE-style back-substitution.
+        """
+        if not mapping:
+            return self
+        acc: Set[Monomial] = set()
+        for m in self._monomials:
+            hit = [v for v in m if v in mapping]
+            if not hit:
+                if m in acc:
+                    acc.discard(m)
+                else:
+                    acc.add(m)
+                continue
+            rest = tuple(v for v in m if v not in mapping)
+            prod = Poly.from_monomial(rest)
+            for v in hit:
+                prod = prod * mapping[v]
+                if prod.is_zero():
+                    break
+            for pm in prod._monomials:
+                if pm in acc:
+                    acc.discard(pm)
+                else:
+                    acc.add(pm)
+        p = Poly.__new__(Poly)
+        p._monomials = frozenset(acc)
+        p._hash = None
+        return p
+
+    def evaluate(self, assignment) -> int:
+        """Evaluate under a full assignment (mapping or sequence); 0 or 1."""
+        acc = 0
+        for m in self._monomials:
+            acc ^= mono.evaluate(m, assignment)
+        return acc
+
+    def remap(self, var_map: Dict[int, int]) -> "Poly":
+        """Rename variables through ``var_map`` (must cover all variables)."""
+        return Poly(mono.make(var_map[v] for v in m) for m in self._monomials)
+
+    # -- dunder plumbing -----------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self._monomials == other._monomials
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._monomials)
+        return self._hash
+
+    def sorted_monomials(self) -> list:
+        """Monomials in descending degree-lexicographic order (for display)."""
+        return sorted(self._monomials, key=mono.deglex_key, reverse=True)
+
+    def __repr__(self) -> str:
+        return "Poly({})".format(self.to_string())
+
+    def to_string(self, names=None) -> str:
+        """Render as e.g. ``x1*x2 + x3 + 1``.
+
+        ``names`` maps a variable index to a display name; the default is
+        ``x<index>``.
+        """
+        if not self._monomials:
+            return "0"
+        parts = []
+        for m in self.sorted_monomials():
+            if not m:
+                parts.append("1")
+            elif names is None:
+                parts.append("*".join("x{}".format(v) for v in m))
+            else:
+                parts.append("*".join(names[v] for v in m))
+        return " + ".join(parts)
+
+
+_ZERO = Poly()
+_ONE = Poly([mono.ONE])
+_ONE_SET = frozenset([mono.ONE])

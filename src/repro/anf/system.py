@@ -1,0 +1,274 @@
+"""The master ANF system and per-variable state.
+
+This is the reproduction of Bosphorus's central data structure (paper
+section III-B): the list of Boolean polynomials plus, for every variable,
+
+* its value (0, 1 or undetermined),
+* its equivalence literal (which variable it equals, possibly negated), and
+* its occurrence list (which equations mention it).
+
+Equivalences are stored as a union-find over variables with an XOR parity
+on each link, so ``x = ¬y`` and ``y = z`` compose correctly and a
+contradictory merge is detected immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .polynomial import Poly
+from .ring import Ring
+
+
+class ContradictionError(Exception):
+    """Raised when the system is discovered to contain ``1 = 0``."""
+
+
+class VariableState:
+    """Union-find with parity tracking values and equivalence literals."""
+
+    def __init__(self, n_vars: int = 0):
+        self._parent: List[int] = list(range(n_vars))
+        self._parity: List[int] = [0] * n_vars
+        self._value: List[Optional[int]] = [None] * n_vars
+
+    def ensure(self, index: int) -> None:
+        """Grow state so ``index`` is valid."""
+        while len(self._parent) <= index:
+            self._parent.append(len(self._parent))
+            self._parity.append(0)
+            self._value.append(None)
+
+    @property
+    def n_vars(self) -> int:
+        return len(self._parent)
+
+    def find(self, v: int) -> Tuple[int, int]:
+        """Return ``(root, parity)`` such that ``x_v = x_root ⊕ parity``."""
+        parity = 0
+        root = v
+        while self._parent[root] != root:
+            parity ^= self._parity[root]
+            root = self._parent[root]
+        # Path compression, keeping parities consistent.
+        node, p = v, parity
+        while self._parent[node] != node:
+            nxt = self._parent[node]
+            nxt_p = p ^ self._parity[node]
+            self._parent[node] = root
+            self._parity[node] = p
+            node, p = nxt, nxt_p
+        return root, parity
+
+    def value(self, v: int) -> Optional[int]:
+        """Current value of the variable, or None if undetermined."""
+        root, parity = self.find(v)
+        val = self._value[root]
+        if val is None:
+            return None
+        return val ^ parity
+
+    def representative(self, v: int) -> Tuple[int, int]:
+        """The equivalence literal ``(variable, negated)`` for ``v``.
+
+        If the variable has a value this still returns the class root; use
+        :meth:`value` first when a constant is wanted.
+        """
+        return self.find(v)
+
+    def assign(self, v: int, value: int) -> bool:
+        """Set ``x_v = value``.  Returns True if this was new information.
+
+        Raises :class:`ContradictionError` on conflict.
+        """
+        root, parity = self.find(v)
+        want = value ^ parity
+        have = self._value[root]
+        if have is None:
+            self._value[root] = want
+            return True
+        if have != want:
+            raise ContradictionError(
+                "conflicting assignment for variable {}".format(v)
+            )
+        return False
+
+    def equate(self, a: int, b: int, parity: int) -> bool:
+        """Record ``x_a = x_b ⊕ parity``.  Returns True if new information.
+
+        Raises :class:`ContradictionError` on conflict.
+        """
+        ra, pa = self.find(a)
+        rb, pb = self.find(b)
+        joint = pa ^ pb ^ parity
+        if ra == rb:
+            if joint:
+                raise ContradictionError(
+                    "contradictory equivalence between {} and {}".format(a, b)
+                )
+            return False
+        va, vb = self._value[ra], self._value[rb]
+        # Attach the root without a value beneath the one with, so values
+        # survive the merge; if both have values, check consistency.
+        if va is not None and vb is not None:
+            if va != (vb ^ joint):
+                raise ContradictionError(
+                    "equivalence conflicts with values of {} and {}".format(a, b)
+                )
+            # Consistent; just merge.
+        if va is not None and vb is None:
+            ra, rb = rb, ra
+            va, vb = vb, va
+            # joint is symmetric
+        self._parent[ra] = rb
+        self._parity[ra] = joint
+        if vb is None and va is not None:
+            self._value[rb] = va ^ joint
+        return True
+
+    def known_variables(self) -> List[int]:
+        """All variables with a determined value."""
+        return [v for v in range(len(self._parent)) if self.value(v) is not None]
+
+    def substitution_for(self, v: int) -> Optional[Poly]:
+        """Polynomial to substitute for ``v``, or None if v is its own rep.
+
+        Values map to constants; equivalences map to ``root (+ 1)``.
+        """
+        val = self.value(v)
+        if val is not None:
+            return Poly.constant(val)
+        root, parity = self.find(v)
+        if root == v:
+            return None
+        return Poly.variable(root).add_constant(parity)
+
+    def as_assignment(self, n_vars: int, default: int = 0) -> List[int]:
+        """Concrete assignment: determined values, ``default`` elsewhere.
+
+        Equivalence classes without a value collapse onto the default of
+        their root so equivalences stay satisfied.
+        """
+        out = []
+        for v in range(n_vars):
+            val = self.value(v)
+            if val is None:
+                root, parity = self.find(v)
+                val = default ^ parity
+            out.append(val)
+        return out
+
+
+class AnfSystem:
+    """A system of Boolean polynomial equations with occurrence lists.
+
+    Every stored polynomial represents the equation ``p = 0``.  The system
+    deduplicates polynomials and drops zeros; storing ``1`` raises
+    :class:`ContradictionError` (the paper's ``1 = 0`` termination signal).
+    """
+
+    def __init__(self, ring: Ring, polynomials: Iterable[Poly] = ()):
+        self.ring = ring
+        self.state = VariableState(ring.n_vars)
+        self._polys: List[Poly] = []
+        self._poly_set: Set[Poly] = set()
+        self._occurrence: Dict[int, Set[int]] = {}
+        for p in polynomials:
+            self.add(p)
+
+    # -- basic container behaviour -----------------------------------------
+
+    @property
+    def polynomials(self) -> List[Poly]:
+        """Live list of the equations (treat as read-only)."""
+        return self._polys
+
+    def __len__(self) -> int:
+        return len(self._polys)
+
+    def __iter__(self):
+        return iter(self._polys)
+
+    def __contains__(self, p: Poly) -> bool:
+        return p in self._poly_set
+
+    def add(self, p: Poly) -> bool:
+        """Add an equation.  Returns True if it was new.
+
+        Zero polynomials are ignored; the constant ``1`` raises
+        :class:`ContradictionError`.
+        """
+        if p.is_zero():
+            return False
+        if p.is_one():
+            raise ContradictionError("system contains 1 = 0")
+        if p in self._poly_set:
+            return False
+        idx = len(self._polys)
+        self._polys.append(p)
+        self._poly_set.add(p)
+        for v in p.variables():
+            self.ring.ensure(v)
+            self.state.ensure(v)
+            self._occurrence.setdefault(v, set()).add(idx)
+        return True
+
+    def occurrences(self, var: int) -> Set[int]:
+        """Indices of equations in which ``var`` occurs."""
+        return self._occurrence.get(var, set())
+
+    def occurrence_count(self, var: int) -> int:
+        """Number of equations mentioning ``var``."""
+        return len(self._occurrence.get(var, ()))
+
+    def replace_all(self, polynomials: Iterable[Poly]) -> None:
+        """Swap in a new equation list, rebuilding occurrence lists.
+
+        Only ANF propagation should call this — it is the single place the
+        master copy is replaced, matching the paper's architecture.
+        """
+        self._polys = []
+        self._poly_set = set()
+        self._occurrence = {}
+        for p in polynomials:
+            self.add(p)
+
+    # -- normalisation against the variable state ---------------------------
+
+    def normalize(self, p: Poly) -> Poly:
+        """Rewrite ``p`` under the current values and equivalence literals."""
+        mapping: Dict[int, Poly] = {}
+        for v in p.variables():
+            sub = self.state.substitution_for(v)
+            if sub is not None:
+                mapping[v] = sub
+        if not mapping:
+            return p
+        return p.substitute_many(mapping)
+
+    def copy(self) -> "AnfSystem":
+        """Deep-enough copy: fresh state/occurrence, shared immutable polys."""
+        other = AnfSystem(self.ring.clone())
+        other.state.ensure(self.state.n_vars - 1 if self.state.n_vars else 0)
+        for v in range(self.state.n_vars):
+            val = self.state.value(v)
+            if val is not None:
+                other.state.ensure(v)
+                other.state.assign(v, val)
+            else:
+                root, parity = self.state.find(v)
+                if root != v:
+                    other.state.ensure(max(v, root))
+                    other.state.equate(v, root, parity)
+        for p in self._polys:
+            other.add(p)
+        return other
+
+    def check_assignment(self, assignment) -> bool:
+        """True if the concrete assignment satisfies every equation."""
+        return all(p.evaluate(assignment) == 0 for p in self._polys)
+
+    def __repr__(self) -> str:
+        return "AnfSystem(n_vars={}, n_eqs={})".format(
+            self.ring.n_vars, len(self._polys)
+        )

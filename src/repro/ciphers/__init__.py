@@ -1,0 +1,11 @@
+"""Benchmark problem generators: the paper's three ANF families.
+
+* :mod:`repro.ciphers.aes_small` — small-scale AES SR(n, r, c, e),
+* :mod:`repro.ciphers.simon` — round-reduced Simon32/64,
+* :mod:`repro.ciphers.sha256` / :mod:`repro.ciphers.bitcoin` — SHA-256
+  and the weakened Bitcoin nonce-finding challenge.
+"""
+
+from . import aes_small, gf2e, simon, speck
+
+__all__ = ["aes_small", "gf2e", "simon", "speck", "sha256", "bitcoin"]

@@ -1,0 +1,179 @@
+"""Command-line interface mirroring the Bosphorus tool.
+
+Examples::
+
+    bosphorus-py --anfread problem.anf --cnfwrite out.cnf
+    bosphorus-py --cnfread problem.cnf --cnfwrite processed.cnf
+    bosphorus-py --anfread problem.anf --solve --solver cms
+
+Reads a problem in ANF (``.anf`` text format) or CNF (DIMACS), runs the
+fact-learning loop, and writes the processed ANF/CNF.  With ``--solve``
+the processed CNF is handed to one of the three final-solver
+personalities and the verdict is printed in SAT-competition style
+(``s SATISFIABLE`` / ``v`` model lines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .anf import Ring, read_anf, write_anf
+from .core.bosphorus import Bosphorus, STATUS_SAT, STATUS_UNSAT
+from .core.config import Config
+from .experiments.runner import run_final_solver
+from .sat.dimacs import read_dimacs, write_dimacs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bosphorus-py",
+        description="ANF/CNF fact-learning preprocessor (Bosphorus reproduction)",
+    )
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument("--anfread", metavar="FILE", help="input problem in ANF")
+    src.add_argument("--cnfread", metavar="FILE", help="input problem in DIMACS CNF")
+    parser.add_argument("--anfwrite", metavar="FILE", help="write processed ANF")
+    parser.add_argument("--cnfwrite", metavar="FILE", help="write processed CNF")
+    parser.add_argument("--solve", action="store_true",
+                        help="run a final SAT solver on the processed CNF")
+    parser.add_argument("--solver", choices=("minisat", "lingeling", "cms"),
+                        default="cms", help="final solver personality")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="final-solver wall-clock budget in seconds")
+    # Paper parameters.
+    parser.add_argument("-m", "--samplebits", type=int, default=None,
+                        help="XL/ElimLin subsample parameter M")
+    parser.add_argument("--dm", type=int, default=None,
+                        help="XL expansion allowance deltaM")
+    parser.add_argument("--xldeg", type=int, default=None,
+                        help="XL multiplier degree D")
+    parser.add_argument("--karn", type=int, default=None,
+                        help="Karnaugh conversion limit K")
+    parser.add_argument("--cutnum", type=int, default=None,
+                        help="XOR cutting length L")
+    parser.add_argument("--clausecut", type=int, default=None,
+                        help="clause cutting length L'")
+    parser.add_argument("--confl", type=int, default=None,
+                        help="starting SAT conflict budget C")
+    parser.add_argument("--maxconfl", type=int, default=None,
+                        help="maximum SAT conflict budget")
+    parser.add_argument("--maxiters", type=int, default=None,
+                        help="maximum fact-learning iterations")
+    parser.add_argument("--seed", type=int, default=0, help="subsampling seed")
+    parser.add_argument("--no-xl", action="store_true", help="disable XL")
+    parser.add_argument("--no-elimlin", action="store_true", help="disable ElimLin")
+    parser.add_argument("--no-sat", action="store_true", help="disable SAT learning")
+    parser.add_argument("--groebner", action="store_true",
+                        help="enable the Buchberger technique")
+    parser.add_argument("--probe", action="store_true",
+                        help="enable failed-literal probing (lookahead)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print input/processed system statistics")
+    parser.add_argument("--verb", type=int, default=1, help="verbosity (0-2)")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> Config:
+    """Translate CLI flags into a :class:`Config`."""
+    config = Config(seed=args.seed)
+    overrides = {
+        "xl_sample_bits": args.samplebits,
+        "elimlin_sample_bits": args.samplebits,
+        "xl_expand_allowance": args.dm,
+        "xl_degree": args.xldeg,
+        "karnaugh_limit": args.karn,
+        "xor_cut_len": args.cutnum,
+        "clause_cut_len": args.clausecut,
+        "sat_conflict_start": args.confl,
+        "sat_conflict_max": args.maxconfl,
+        "max_iterations": args.maxiters,
+    }
+    config = config.with_(
+        **{k: v for k, v in overrides.items() if v is not None}
+    )
+    return config.with_(
+        use_xl=not args.no_xl,
+        use_elimlin=not args.no_elimlin,
+        use_sat=not args.no_sat,
+        use_groebner=args.groebner,
+        use_probing=args.probe,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    bosph = Bosphorus(config)
+
+    if args.anfread:
+        with open(args.anfread) as f:
+            ring, polys = read_anf(f)
+        if args.stats:
+            from .anf.stats import describe_system
+            print("c --- input ANF statistics ---")
+            for line in describe_system(polys).format().splitlines():
+                print("c " + line)
+        result = bosph.preprocess_anf(ring, polys)
+    else:
+        with open(args.cnfread) as f:
+            formula = read_dimacs(f)
+        result = bosph.preprocess_cnf(formula)
+
+    if args.stats and result.processed_anf:
+        from .anf.stats import describe_system
+        print("c --- processed ANF statistics ---")
+        for line in describe_system(result.processed_anf).format().splitlines():
+            print("c " + line)
+
+    if args.verb >= 1:
+        print("c bosphorus-py: {} iterations, {} learnt facts ({})".format(
+            result.iterations, len(result.facts),
+            ", ".join("{}={}".format(k, v)
+                      for k, v in sorted(result.facts.summary().items())),
+        ))
+
+    if args.anfwrite:
+        with open(args.anfwrite, "w") as f:
+            write_anf(f, result.processed_anf)
+    if args.cnfwrite:
+        out = result.augmented_cnf if args.cnfread else result.cnf
+        with open(args.cnfwrite, "w") as f:
+            write_dimacs(f, out, comments=["processed by bosphorus-py"])
+
+    if result.status == STATUS_UNSAT:
+        print("s UNSATISFIABLE")
+        return 20
+    if args.solve:
+        solution = result.solution
+        if solution is None:
+            verdict, model, _ = run_final_solver(
+                result.cnf, args.solver, args.timeout
+            )
+            if verdict is False:
+                print("s UNSATISFIABLE")
+                return 20
+            if verdict is None:
+                print("s UNKNOWN")
+                return 0
+            values = model
+        else:
+            values = solution.values
+        print("s SATISFIABLE")
+        n = result.system.ring.n_vars if result.system else len(values)
+        lits = [
+            "{}{}".format("" if values[v] else "-", v + 1)
+            for v in range(min(n, len(values)))
+        ]
+        print("v {} 0".format(" ".join(lits)))
+        return 10
+    if result.status == STATUS_SAT:
+        print("s SATISFIABLE")
+        return 10
+    print("s UNKNOWN")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""ANF → CNF conversion (paper section III-C).
+
+Determined variables become unit clauses, equivalences become clause
+pairs, and every residual polynomial is
+
+1. cut into short XORs of at most L terms (the XOR-cutting length) by
+   introducing fresh auxiliary variables, then
+2. each short polynomial is encoded either via its Karnaugh map (support
+   of at most K variables; minimised with Quine–McCluskey, our ESPRESSO
+   stand-in) or via a Tseitin-style encoding: one auxiliary variable per
+   high-degree monomial (AND definition clauses) followed by the
+   ``2**(l-1)`` clauses enumerating the XOR.
+
+A bi-directional monomial ↔ CNF-variable map is maintained so learnt CNF
+facts can be translated back to ANF (paper: "we maintain a bi-directional
+map for such variables").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..anf import monomial as mono
+from ..anf.monomial import Monomial
+from ..anf.polynomial import Poly
+from ..anf.system import AnfSystem
+from ..minimize import cube_to_clause, minimize, truth_table
+from ..sat.dimacs import CnfFormula
+from ..sat.types import mk_lit
+from .config import Config
+
+
+@dataclass
+class ConversionStats:
+    """Clause/variable accounting for one conversion."""
+
+    karnaugh_polys: int = 0
+    tseitin_polys: int = 0
+    karnaugh_clauses: int = 0
+    tseitin_clauses: int = 0
+    and_clauses: int = 0
+    cut_vars: int = 0
+    monomial_vars: int = 0
+    unit_clauses: int = 0
+    equivalence_clauses: int = 0
+
+
+@dataclass
+class ConversionResult:
+    """CNF output plus the maps needed to translate facts back to ANF."""
+
+    formula: CnfFormula
+    n_anf_vars: int
+    var_of_monomial: Dict[Monomial, int]
+    monomial_of_var: Dict[int, Monomial]
+    cut_vars: Set[int]
+    stats: ConversionStats
+
+    def is_original_var(self, cnf_var: int) -> bool:
+        """True if the CNF variable is one of the problem's ANF variables."""
+        return cnf_var < self.n_anf_vars
+
+
+class AnfToCnf:
+    """Converter carrying the paper's parameters K and L."""
+
+    def __init__(self, config: Optional[Config] = None):
+        self.config = config or Config()
+
+    def convert(self, system: AnfSystem) -> ConversionResult:
+        """Convert the (propagated) system to CNF."""
+        return self.convert_parts(
+            n_vars=max(system.ring.n_vars, system.state.n_vars),
+            polynomials=list(system.polynomials),
+            state=system.state,
+        )
+
+    def convert_polynomials(
+        self, polynomials: Sequence[Poly], n_vars: Optional[int] = None
+    ) -> ConversionResult:
+        """Convert a bare polynomial list (no variable state)."""
+        if n_vars is None:
+            n_vars = 0
+            for p in polynomials:
+                vs = p.variables()
+                if vs:
+                    n_vars = max(n_vars, max(vs) + 1)
+        return self.convert_parts(n_vars, polynomials, state=None)
+
+    def convert_parts(self, n_vars, polynomials, state) -> ConversionResult:
+        formula = CnfFormula(n_vars)
+        stats = ConversionStats()
+        ctx = _Context(n_vars, formula, stats, self.config)
+
+        if state is not None:
+            for v in range(state.n_vars):
+                value = state.value(v)
+                if value is not None:
+                    formula.add_clause([mk_lit(v, negated=(value == 0))])
+                    stats.unit_clauses += 1
+                    continue
+                root, parity = state.find(v)
+                if root != v:
+                    # v = root ⊕ parity.
+                    if parity == 0:
+                        formula.add_clause([mk_lit(v), mk_lit(root, True)])
+                        formula.add_clause([mk_lit(v, True), mk_lit(root)])
+                    else:
+                        formula.add_clause([mk_lit(v), mk_lit(root)])
+                        formula.add_clause([mk_lit(v, True), mk_lit(root, True)])
+                    stats.equivalence_clauses += 2
+
+        for p in polynomials:
+            if p.is_zero():
+                continue
+            if p.is_one():
+                formula.add_clause([])  # the empty clause: UNSAT
+                continue
+            ctx.convert_poly(p)
+
+        return ConversionResult(
+            formula=formula,
+            n_anf_vars=n_vars,
+            var_of_monomial=ctx.var_of_monomial,
+            monomial_of_var=ctx.monomial_of_var,
+            cut_vars=ctx.cut_vars,
+            stats=stats,
+        )
+
+
+class _Context:
+    """Mutable conversion state: variable allocation and the monomial map."""
+
+    def __init__(self, n_vars: int, formula: CnfFormula, stats: ConversionStats, config: Config):
+        self.next_var = n_vars
+        self.formula = formula
+        self.stats = stats
+        self.config = config
+        self.var_of_monomial: Dict[Monomial, int] = {}
+        self.monomial_of_var: Dict[int, Monomial] = {}
+        self.cut_vars: Set[int] = set()
+        # Single-variable monomials map to the variable itself.
+        for v in range(n_vars):
+            self.var_of_monomial[(v,)] = v
+            self.monomial_of_var[v] = (v,)
+
+    def fresh_var(self) -> int:
+        v = self.next_var
+        self.next_var += 1
+        self.formula.n_vars = max(self.formula.n_vars, v + 1)
+        return v
+
+    # -- main poly dispatch -------------------------------------------------
+
+    def convert_poly(self, p: Poly) -> None:
+        rhs = 1 if p.has_constant_term() else 0
+        terms = sorted((m for m in p.monomials if m), key=mono.deglex_key)
+        if not terms:
+            if rhs:
+                self.formula.add_clause([])
+            return
+        for chunk, chunk_rhs in self._cut(terms, rhs):
+            self._emit_short(chunk, chunk_rhs)
+
+    def _cut(self, terms: List[Monomial], rhs: int):
+        """XOR-cutting: split into chunks of at most L terms."""
+        cut_len = max(self.config.xor_cut_len, 2)
+        while len(terms) > cut_len:
+            head, tail = terms[: cut_len - 1], terms[cut_len - 1:]
+            aux = self.fresh_var()
+            self.cut_vars.add(aux)
+            self.stats.cut_vars += 1
+            self.monomial_of_var[aux] = None  # not a product of inputs
+            # aux = head_1 ⊕ ... (definition: head ⊕ aux = 0).
+            yield (head + [(aux,)], 0)
+            terms = [(aux,)] + tail
+        yield (terms, rhs)
+
+    def _emit_short(self, terms: List[Monomial], rhs: int) -> None:
+        support = sorted({v for m in terms for v in m})
+        if len(support) <= self.config.karnaugh_limit:
+            self._emit_karnaugh(terms, rhs, support)
+        else:
+            self._emit_tseitin(terms, rhs)
+
+    # -- approach 1: Karnaugh map + minimisation ------------------------------
+
+    def _emit_karnaugh(self, terms: List[Monomial], rhs: int, support: List[int]) -> None:
+        self.stats.karnaugh_polys += 1
+        poly = Poly(terms).add_constant(rhs)
+        on_set = truth_table(poly, support)
+        cubes = minimize(on_set, len(support))
+        for cube in cubes:
+            clause = [
+                mk_lit(var, negated)
+                for var, negated in cube_to_clause(cube, support, len(support))
+            ]
+            self.formula.add_clause(clause)
+            self.stats.karnaugh_clauses += 1
+
+    # -- approach 2: Tseitin-style monomial vars + XOR enumeration -----------
+
+    def _monomial_var(self, m: Monomial) -> int:
+        """CNF variable standing for the monomial, defining it on first use."""
+        existing = self.var_of_monomial.get(m)
+        if existing is not None:
+            return existing
+        y = self.fresh_var()
+        self.var_of_monomial[m] = y
+        self.monomial_of_var[y] = m
+        self.stats.monomial_vars += 1
+        # y = AND of the variables: (¬y ∨ x_i) for each i, (y ∨ ⋁ ¬x_i).
+        for v in m:
+            self.formula.add_clause([mk_lit(y, True), mk_lit(v)])
+            self.stats.and_clauses += 1
+        self.formula.add_clause([mk_lit(y)] + [mk_lit(v, True) for v in m])
+        self.stats.and_clauses += 1
+        return y
+
+    def _emit_tseitin(self, terms: List[Monomial], rhs: int) -> None:
+        self.stats.tseitin_polys += 1
+        term_vars = []
+        for m in terms:
+            if len(m) == 1:
+                term_vars.append(m[0])
+            else:
+                term_vars.append(self._monomial_var(m))
+        if self.config.emit_xor_clauses:
+            self.formula.add_xor(term_vars, rhs)
+            return
+        n = len(term_vars)
+        # Forbid every assignment whose parity differs from rhs:
+        # 2**(n-1) clauses of n literals each.
+        for pattern in range(1 << n):
+            parity = bin(pattern).count("1") & 1
+            if parity == rhs:
+                continue
+            clause = [
+                mk_lit(term_vars[i], negated=bool(pattern >> i & 1))
+                for i in range(n)
+            ]
+            self.formula.add_clause(clause)
+            self.stats.tseitin_clauses += 1

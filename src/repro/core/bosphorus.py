@@ -1,0 +1,285 @@
+"""The Bosphorus workflow (paper section III-A, Fig. 1).
+
+An input problem — ANF or CNF — is normalised into a master ANF system.
+ANF propagation runs first; then the XL → ElimLin → SAT-solver loop learns
+facts, with propagation folding each batch of facts back into the master
+copy, until a fixed point where no step produces anything new.  The output
+is the processed ANF and its CNF conversion (plus, for CNF inputs, the
+original CNF augmented with the learnt facts).
+
+Termination conditions mirror the paper:
+
+* ``1 = 0`` anywhere → UNSAT;
+* the inner SAT solver finds a model → (optionally) stop and report it
+  (the model is *not* used to simplify the ANF, since it may not be the
+  unique solution);
+* no new facts in a full pass → fixed point.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..anf.polynomial import Poly
+from ..anf.ring import Ring
+from ..anf.system import AnfSystem, ContradictionError
+from ..sat.dimacs import CnfFormula
+from ..sat.solver import SAT, UNSAT, SolverConfig
+from .anf_to_cnf import AnfToCnf, ConversionResult
+from .cnf_to_anf import cnf_to_anf
+from .config import Config
+from .elimlin import run_elimlin
+from .facts import (
+    SOURCE_ELIMLIN,
+    SOURCE_GROEBNER,
+    SOURCE_PROBING,
+    SOURCE_SAT,
+    SOURCE_XL,
+    FactStore,
+)
+from .groebner import buchberger
+from .probing import run_probing
+from .propagation import materialize, propagate
+from .satlearn import run_sat
+from .solution import Solution
+from .xl import run_xl
+
+#: Status strings for :class:`BosphorusResult`.
+STATUS_SAT = "sat"
+STATUS_UNSAT = "unsat"
+STATUS_UNKNOWN = "unknown"
+
+
+@dataclass
+class BosphorusResult:
+    """Everything the preprocessing run produced."""
+
+    status: str
+    facts: FactStore
+    iterations: int
+    processed_anf: List[Poly]
+    cnf: Optional[CnfFormula] = None
+    conversion: Optional[ConversionResult] = None
+    solution: Optional[Solution] = None
+    system: Optional[AnfSystem] = None
+    original_cnf: Optional[CnfFormula] = None
+    augmented_cnf: Optional[CnfFormula] = None
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == STATUS_SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == STATUS_UNSAT
+
+
+class Bosphorus:
+    """The iterative ANF/CNF fact-learning preprocessor."""
+
+    def __init__(
+        self,
+        config: Optional[Config] = None,
+        inner_solver_config: Optional[SolverConfig] = None,
+    ):
+        self.config = config or Config()
+        self.inner_solver_config = inner_solver_config
+
+    # -- entry points ---------------------------------------------------------
+
+    def preprocess_anf(
+        self, ring: Ring, polynomials: Sequence[Poly]
+    ) -> BosphorusResult:
+        """Run the fact-learning loop on an ANF problem."""
+        facts = FactStore()
+        try:
+            system = AnfSystem(ring, polynomials)
+        except ContradictionError:
+            return self._unsat_result(facts, iterations=0, ring=ring)
+        return self._run_loop(system, facts)
+
+    def preprocess_cnf(self, formula: CnfFormula) -> BosphorusResult:
+        """Use Bosphorus as a CNF preprocessor (paper section III-D).
+
+        The result carries both the original CNF (augmented with learnt
+        facts — the paper returns this because a CNF→ANF→CNF round trip
+        alone is suboptimal) and the CNF of the internal ANF.
+        """
+        anf = cnf_to_anf(formula, self.config)
+        result = self.preprocess_anf(anf.ring, anf.polynomials)
+        result.original_cnf = formula
+        result.augmented_cnf = self._augment_cnf(formula, result, set(anf.cut_vars))
+        if result.solution is not None:
+            result.solution = Solution(result.solution.values[: formula.n_vars])
+        return result
+
+    # -- the loop -------------------------------------------------------------
+
+    def _run_loop(self, system: AnfSystem, facts: FactStore) -> BosphorusResult:
+        config = self.config
+        rng = random.Random(config.seed)
+        original_ring = system.ring
+        sat_budget = config.sat_conflict_start
+        solution: Optional[Solution] = None
+        status = STATUS_UNKNOWN
+        iterations = 0
+        technique_stats: List[Dict[str, object]] = []
+
+        try:
+            propagate(system)
+            for iterations in range(1, config.max_iterations + 1):
+                new_facts = 0
+                it_stats: Dict[str, object] = {"iteration": iterations}
+
+                if config.use_xl:
+                    xl_res = run_xl(system.polynomials, config, rng)
+                    added = self._absorb(system, facts, xl_res.facts, SOURCE_XL)
+                    it_stats["xl_facts"] = added
+                    new_facts += added
+
+                if config.use_elimlin:
+                    el_res = run_elimlin(system.polynomials, config, rng)
+                    added = self._absorb(system, facts, el_res.facts, SOURCE_ELIMLIN)
+                    it_stats["elimlin_facts"] = added
+                    new_facts += added
+
+                if config.use_groebner:
+                    gb_res = buchberger(
+                        list(system.polynomials),
+                        max_pairs=config.groebner_max_pairs,
+                        max_basis=config.groebner_max_basis,
+                    )
+                    added = self._absorb(system, facts, gb_res.facts, SOURCE_GROEBNER)
+                    it_stats["groebner_facts"] = added
+                    new_facts += added
+
+                if config.use_probing:
+                    probe_res = run_probing(system, config, config.probe_limit)
+                    added = self._absorb(
+                        system, facts, probe_res.facts, SOURCE_PROBING
+                    )
+                    it_stats["probing_facts"] = added
+                    new_facts += added
+
+                if config.use_sat:
+                    sat_res = run_sat(
+                        system, config, sat_budget, self.inner_solver_config
+                    )
+                    it_stats["sat_status"] = sat_res.status
+                    it_stats["sat_conflicts"] = sat_res.conflicts
+                    if sat_res.status is UNSAT:
+                        raise ContradictionError("SAT solver proved UNSAT")
+                    added = self._absorb(system, facts, sat_res.facts, SOURCE_SAT)
+                    it_stats["sat_facts"] = added
+                    new_facts += added
+                    if sat_res.status is SAT and sat_res.model is not None:
+                        solution = Solution(list(sat_res.model))
+                        if config.stop_on_solution:
+                            status = STATUS_SAT
+                            technique_stats.append(it_stats)
+                            break
+                    if added == 0:
+                        sat_budget = min(
+                            sat_budget + config.sat_conflict_step,
+                            config.sat_conflict_max,
+                        )
+
+                technique_stats.append(it_stats)
+                if new_facts == 0:
+                    break
+        except ContradictionError:
+            return self._unsat_result(
+                facts, iterations, ring=original_ring, stats=technique_stats
+            )
+
+        processed = materialize(system)
+        conversion = AnfToCnf(self.config).convert(system)
+        return BosphorusResult(
+            status=status,
+            facts=facts,
+            iterations=iterations,
+            processed_anf=processed,
+            cnf=conversion.formula,
+            conversion=conversion,
+            solution=solution,
+            system=system,
+            stats={
+                "techniques": technique_stats,
+                "fact_summary": facts.summary(),
+            },
+        )
+
+    def _absorb(
+        self,
+        system: AnfSystem,
+        facts: FactStore,
+        candidates: Sequence[Poly],
+        source: str,
+    ) -> int:
+        """Fold learnt facts into the master copy, then propagate."""
+        added = 0
+        for fact in candidates:
+            if fact.is_one():
+                raise ContradictionError("learnt the contradiction 1 = 0")
+            normalized = system.normalize(fact)
+            if normalized.is_zero():
+                continue
+            if normalized.is_one():
+                raise ContradictionError("learnt the contradiction 1 = 0")
+            if facts.add(normalized, source):
+                system.add(normalized)
+                added += 1
+        if added:
+            propagate(system)
+        return added
+
+    def _unsat_result(self, facts, iterations, ring, stats=None) -> BosphorusResult:
+        facts.add(Poly.one(), "contradiction")
+        formula = CnfFormula(ring.n_vars if ring else 0)
+        formula.add_clause([])
+        return BosphorusResult(
+            status=STATUS_UNSAT,
+            facts=facts,
+            iterations=iterations,
+            processed_anf=[Poly.one()],
+            cnf=formula,
+            stats={"techniques": stats or []},
+        )
+
+    def _augment_cnf(
+        self, original: CnfFormula, result: BosphorusResult, cut_vars
+    ) -> CnfFormula:
+        """Original clauses plus learnt facts encoded as CNF."""
+        augmented = CnfFormula(original.n_vars)
+        augmented.clauses = [list(c) for c in original.clauses]
+        augmented.xors = [(list(v), r) for v, r in original.xors]
+        if result.is_unsat:
+            augmented.add_clause([])
+            return augmented
+        fact_polys = [
+            p
+            for p in result.facts.polynomials()
+            if all(v < original.n_vars for v in p.variables())
+        ]
+        if fact_polys:
+            conv = AnfToCnf(self.config).convert_polynomials(
+                fact_polys, n_vars=original.n_vars
+            )
+            for clause in conv.formula.clauses:
+                augmented.add_clause(clause)
+            for variables, rhs in conv.formula.xors:
+                augmented.add_xor(variables, rhs)
+        return augmented
+
+
+def preprocess_anf(ring, polynomials, config=None) -> BosphorusResult:
+    """Convenience wrapper: one-shot ANF preprocessing."""
+    return Bosphorus(config).preprocess_anf(ring, polynomials)
+
+
+def preprocess_cnf(formula, config=None) -> BosphorusResult:
+    """Convenience wrapper: one-shot CNF preprocessing."""
+    return Bosphorus(config).preprocess_cnf(formula)

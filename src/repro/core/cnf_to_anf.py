@@ -1,0 +1,110 @@
+"""CNF → ANF conversion (paper section III-D).
+
+Each CNF variable maps to the ANF variable of the same index, and each
+clause becomes the polynomial "product of negated literals = 0" (the
+clause is violated exactly when every literal is false, and the product
+detects that point).  A clause with ``n`` positive literals expands into
+``2**n`` monomials, so clauses are first *cut* — split with auxiliary
+variables, à la k-SAT → 3-SAT — until each piece has at most L' positive
+literals (the clause-cutting length).
+
+Native XOR constraints (CryptoMiniSat-style ``x`` lines) translate
+directly into linear polynomials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..anf.polynomial import Poly
+from ..anf.ring import Ring
+from ..sat.dimacs import CnfFormula
+from ..sat.types import lit_sign, lit_var, mk_lit
+from .config import Config
+
+
+@dataclass
+class CnfToAnfResult:
+    """ANF equivalent of a CNF formula.
+
+    ANF variable ``i`` is CNF variable ``i`` for ``i < n_cnf_vars``;
+    variables beyond that are clause-cutting auxiliaries.
+    """
+
+    ring: Ring
+    polynomials: List[Poly]
+    n_cnf_vars: int
+    cut_vars: List[int] = field(default_factory=list)
+
+
+def clause_to_poly(lits: Sequence[int]) -> Poly:
+    """Product of negated literals.
+
+    ``¬x1 ∨ x2`` becomes ``x1 * (x2 + 1) = x1x2 + x1`` — the polynomial is
+    1 exactly on the clause-violating assignment(s).
+    """
+    product = Poly.one()
+    for l in lits:
+        v = lit_var(l)
+        factor = Poly.variable(v)
+        if not lit_sign(l):  # positive literal: false when the var is 0
+            factor = factor + Poly.one()
+        product = product * factor
+        if product.is_zero():
+            break
+    return product
+
+
+def _count_positive(lits: Sequence[int]) -> int:
+    return sum(1 for l in lits if not lit_sign(l))
+
+
+def cnf_to_anf(
+    formula: CnfFormula, config: Optional[Config] = None
+) -> CnfToAnfResult:
+    """Convert a CNF formula to an equisatisfiable ANF system."""
+    config = config or Config()
+    cut_limit = max(config.clause_cut_len, 1)
+    ring = Ring(formula.n_vars)
+    polys: List[Poly] = []
+    cut_vars: List[int] = []
+
+    def emit(lits: List[int]) -> None:
+        if not lits:
+            polys.append(Poly.one())
+            return
+        if _count_positive(lits) <= cut_limit:
+            p = clause_to_poly(lits)
+            if p.is_one():
+                polys.append(Poly.one())
+            elif not p.is_zero():
+                polys.append(p)
+            return
+        # Split: keep enough literals to reach L'-1 positives, bridge with
+        # a fresh auxiliary variable (positive in the head, negated ahead).
+        head: List[int] = []
+        positives = 0
+        i = 0
+        while i < len(lits) and positives < cut_limit - 1:
+            l = lits[i]
+            head.append(l)
+            if not lit_sign(l):
+                positives += 1
+            i += 1
+        tail = lits[i:]
+        aux = ring.new_variable()
+        cut_vars.append(aux)
+        emit(head + [mk_lit(aux)])
+        emit([mk_lit(aux, True)] + tail)
+
+    for clause in formula.clauses:
+        emit(list(clause))
+    for variables, rhs in formula.xors:
+        for v in variables:
+            ring.ensure(v)
+        polys.append(Poly([(v,) for v in variables]).add_constant(rhs))
+
+    return CnfToAnfResult(
+        ring=ring, polynomials=polys, n_cnf_vars=formula.n_vars, cut_vars=cut_vars
+    )

@@ -1,0 +1,104 @@
+"""ElimLin (paper section II-C).
+
+Iterates to fixed point: (1) GJE on the linearisation, (2) pull out the
+linear equations, (3) for each linear equation eliminate — by substitution
+— the participating variable that occurs in the fewest remaining
+equations.  All linear equations discovered along the way are valid
+consequences of the original system (substitution keeps us inside the
+ideal), so they are exactly ElimLin's learnt facts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..anf.polynomial import Poly
+from .config import Config
+from .linearize import gauss_jordan
+from .xl import _subsample
+
+
+@dataclass
+class ElimLinResult:
+    """Outcome of one ElimLin invocation."""
+
+    facts: List[Poly] = field(default_factory=list)
+    rounds: int = 0
+    eliminated: int = 0
+    contradiction: bool = False
+
+
+def _occurrence_counts(polys: Sequence[Poly]) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for p in polys:
+        for v in p.variables():
+            counts[v] = counts.get(v, 0) + 1
+    return counts
+
+
+def run_elimlin(
+    polynomials: Sequence[Poly],
+    config: Optional[Config] = None,
+    rng: Optional[random.Random] = None,
+) -> ElimLinResult:
+    """Run ElimLin on a subsample of the system; returns learnt facts.
+
+    A discovered ``1 = 0`` sets ``contradiction`` and appends ``Poly.one()``
+    to the facts so the caller's master system raises on insertion.
+    """
+    config = config or Config()
+    rng = rng or random.Random(config.seed)
+    result = ElimLinResult()
+    polys = [p for p in polynomials if not p.is_zero()]
+    if not polys:
+        return result
+    system: List[Poly] = _subsample(polys, config.elimlin_sample_bits, rng)
+
+    while True:
+        result.rounds += 1
+        reduced = gauss_jordan(system)
+        if any(p.is_one() for p in reduced):
+            result.contradiction = True
+            result.facts.append(Poly.one())
+            return result
+        linear = [p for p in reduced if p.is_linear() and not p.is_zero()]
+        if not linear:
+            break
+        nonlinear = [p for p in reduced if not p.is_linear()]
+        # Record the linear equations as learnt facts.
+        for eq in linear:
+            if eq not in result.facts:
+                result.facts.append(eq)
+        # Eliminate one variable per linear equation, least-occurring first.
+        counts = _occurrence_counts(nonlinear)
+        current = nonlinear
+        for eq in linear:
+            decomposed = eq.as_linear_equation()
+            if decomposed is None:
+                continue
+            variables, const = decomposed
+            if not variables:
+                continue
+            target = min(variables, key=lambda v: counts.get(v, 0))
+            # x_target = (sum of the others) + const
+            replacement = Poly(
+                [(v,) for v in variables if v != target]
+            ).add_constant(const)
+            new_current = []
+            for p in current:
+                q = p.substitute(target, replacement)
+                if q.is_one():
+                    result.contradiction = True
+                    result.facts.append(Poly.one())
+                    return result
+                if not q.is_zero():
+                    new_current.append(q)
+            current = new_current
+            result.eliminated += 1
+            counts = _occurrence_counts(current)
+        if not current:
+            break
+        system = current
+    return result

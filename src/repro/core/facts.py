@@ -1,0 +1,83 @@
+"""Learnt-fact bookkeeping.
+
+The paper's loop learns two shapes of fact — linear equations and
+``monomial ⊕ 1`` polynomials — from three sources (XL, ElimLin, the SAT
+solver).  The :class:`FactStore` records each fact once with its source so
+experiments can report who learnt what.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..anf.polynomial import Poly
+
+#: Source tags.
+SOURCE_INPUT = "input"
+SOURCE_PROPAGATION = "propagation"
+SOURCE_XL = "xl"
+SOURCE_ELIMLIN = "elimlin"
+SOURCE_SAT = "sat"
+SOURCE_GROEBNER = "groebner"
+SOURCE_PROBING = "probing"
+
+
+def classify_fact(poly: Poly) -> str:
+    """Shape of a fact: unit / equivalence / monomial / linear / other."""
+    if poly.as_unit() is not None:
+        return "unit"
+    if poly.as_equivalence() is not None:
+        return "equivalence"
+    if poly.as_monomial_assignment() is not None:
+        return "monomial"
+    if poly.is_linear():
+        return "linear"
+    return "other"
+
+
+class FactStore:
+    """Insertion-ordered set of learnt facts with provenance."""
+
+    def __init__(self):
+        self._facts: List[Tuple[Poly, str]] = []
+        self._index: Dict[Poly, str] = {}
+
+    def add(self, poly: Poly, source: str) -> bool:
+        """Record a fact.  Returns True if it was new."""
+        if poly.is_zero() or poly in self._index:
+            return False
+        self._index[poly] = source
+        self._facts.append((poly, source))
+        return True
+
+    def add_all(self, polys: Iterable[Poly], source: str) -> int:
+        """Record several facts; returns how many were new."""
+        return sum(1 for p in polys if self.add(p, source))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, poly: Poly) -> bool:
+        return poly in self._index
+
+    def __iter__(self):
+        return iter(self._facts)
+
+    def polynomials(self) -> List[Poly]:
+        """All fact polynomials, in learning order."""
+        return [p for p, _ in self._facts]
+
+    def source_of(self, poly: Poly) -> Optional[str]:
+        """Which technique learnt this fact (None if unknown)."""
+        return self._index.get(poly)
+
+    def by_source(self, source: str) -> List[Poly]:
+        """Facts contributed by one technique."""
+        return [p for p, s in self._facts if s == source]
+
+    def summary(self) -> Dict[str, int]:
+        """Fact counts per source (for experiment reporting)."""
+        out: Dict[str, int] = {}
+        for _, s in self._facts:
+            out[s] = out.get(s, 0) + 1
+        return out

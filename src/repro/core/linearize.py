@@ -1,0 +1,103 @@
+"""Linearisation: polynomials ↔ GF(2) matrices.
+
+Treating each monomial as an independent variable turns an ANF into a
+linear system (paper section II-B).  Columns are ordered by *descending*
+degree-lexicographic monomial order with the constant column last, exactly
+as in the paper's Table I, so Gauss–Jordan pivots land on high-degree
+monomials first and the surviving low-degree rows are the learnable facts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..anf import monomial as mono
+from ..anf.monomial import Monomial
+from ..anf.polynomial import Poly
+from ..gf2.matrix import GF2Matrix
+
+
+class Linearization:
+    """A monomial→column mapping shared by a set of polynomials."""
+
+    def __init__(self, polynomials: Sequence[Poly]):
+        monomials = set()
+        for p in polynomials:
+            monomials.update(p.monomials)
+        monomials.discard(mono.ONE)
+        # Descending deglex; constant column (if any polynomial has one)
+        # goes last, as in Table I.
+        self.columns: List[Monomial] = sorted(
+            monomials, key=mono.deglex_key, reverse=True
+        )
+        self.columns.append(mono.ONE)
+        self.column_of: Dict[Monomial, int] = {
+            m: i for i, m in enumerate(self.columns)
+        }
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.columns)
+
+    def contains(self, p: Poly) -> bool:
+        """True if every monomial of ``p`` has a column."""
+        return all(m in self.column_of for m in p.monomials)
+
+    def to_matrix(self, polynomials: Sequence[Poly]) -> GF2Matrix:
+        """Stack the polynomials as rows of a GF(2) matrix."""
+        m = GF2Matrix(len(polynomials), self.n_cols)
+        for i, p in enumerate(polynomials):
+            for monom in p.monomials:
+                m.set(i, self.column_of[monom], 1)
+        return m
+
+    def row_to_poly(self, matrix: GF2Matrix, row: int) -> Poly:
+        """Interpret a matrix row back as a polynomial."""
+        return Poly(self.columns[j] for j in matrix.row_cols(row))
+
+    def rows_to_polys(self, matrix: GF2Matrix) -> List[Poly]:
+        """All non-zero rows as polynomials."""
+        out = []
+        for i in range(matrix.n_rows):
+            p = self.row_to_poly(matrix, i)
+            if not p.is_zero():
+                out.append(p)
+        return out
+
+
+def gauss_jordan(polynomials: Sequence[Poly]) -> List[Poly]:
+    """GJE on the linearisation; returns the reduced non-zero polynomials.
+
+    The output list is in row order of the reduced matrix: highest-degree
+    pivots first, learnable low-degree rows at the bottom (Table I shape).
+    """
+    polys = [p for p in polynomials if not p.is_zero()]
+    if not polys:
+        return []
+    lin = Linearization(polys)
+    matrix = lin.to_matrix(polys)
+    matrix.rref()
+    return lin.rows_to_polys(matrix)
+
+
+def extract_facts(reduced: Iterable[Poly]) -> Tuple[List[Poly], List[Poly]]:
+    """Split GJE output into the paper's two learnable fact shapes.
+
+    Returns ``(linear, monomial)`` where ``linear`` holds all rows of
+    degree <= 1 and ``monomial`` holds rows of the form ``m`` or ``m ⊕ 1``
+    for a single monomial of degree >= 2.  (``m ⊕ 1`` forces all its
+    variables to 1; a bare ``m`` says the product vanishes, which ANF
+    propagation can also exploit.)
+    """
+    linear: List[Poly] = []
+    monomials: List[Poly] = []
+    for p in reduced:
+        if p.is_zero():
+            continue
+        if p.is_linear():
+            linear.append(p)
+            continue
+        ms = [m for m in p.monomials if m]
+        if len(ms) == 1 and len(p.monomials) <= 2:
+            monomials.append(p)
+    return linear, monomials

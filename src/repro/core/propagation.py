@@ -1,0 +1,147 @@
+"""ANF propagation (paper section II-A).
+
+For each polynomial we try to extract a value assignment, a monomial
+assignment or an equivalence, and rewrite the rest of the system under the
+new information.  Applied to fixed point, driven by occurrence lists so
+only affected equations are revisited (section III-B's optimisation).
+
+The master system's polynomial list ends up holding only the *residual*
+equations; determined values and equivalence literals live in the
+:class:`~repro.anf.system.VariableState`.  Use :func:`materialize` to get
+the full equation list back (residuals + units + equivalences) — that is
+what Bosphorus reports as the processed ANF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..anf.polynomial import Poly
+from ..anf.system import AnfSystem, ContradictionError
+
+
+@dataclass
+class PropagationStats:
+    """What one propagation run discovered."""
+
+    assignments: int = 0
+    equivalences: int = 0
+    monomial_assignments: int = 0
+    rounds: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.assignments or self.equivalences or self.monomial_assignments)
+
+
+def propagate(system: AnfSystem) -> PropagationStats:
+    """Run ANF propagation to fixed point on the master system.
+
+    Mutates ``system`` in place: its variable state absorbs the learnt
+    units/equivalences and its polynomial list is replaced by the
+    normalised residual equations.  Raises
+    :class:`~repro.anf.system.ContradictionError` if ``1 = 0`` appears.
+    """
+    stats = PropagationStats()
+    polys: List[Optional[Poly]] = list(system.polynomials)
+    occ: Dict[int, Set[int]] = {}
+    for idx, p in enumerate(polys):
+        for v in p.variables():
+            occ.setdefault(v, set()).add(idx)
+
+    queue: List[int] = list(range(len(polys)))
+    queued: Set[int] = set(queue)
+
+    def requeue(var: int) -> None:
+        for idx in occ.get(var, ()):
+            if polys[idx] is not None and idx not in queued:
+                queue.append(idx)
+                queued.add(idx)
+
+    while queue:
+        stats.rounds += 1
+        idx = queue.pop()
+        queued.discard(idx)
+        p = polys[idx]
+        if p is None:
+            continue
+        np = system.normalize(p)
+        if np.is_zero():
+            polys[idx] = None
+            continue
+        if np.is_one():
+            raise ContradictionError("propagation derived 1 = 0")
+
+        unit = np.as_unit()
+        if unit is not None:
+            var, value = unit
+            system.state.ensure(var)
+            if system.state.assign(var, value):
+                stats.assignments += 1
+                requeue(var)
+            polys[idx] = None
+            continue
+
+        equiv = np.as_equivalence()
+        if equiv is not None:
+            a, b, parity = equiv
+            system.state.ensure(max(a, b))
+            if system.state.equate(a, b, parity):
+                stats.equivalences += 1
+                requeue(a)
+                requeue(b)
+            polys[idx] = None
+            continue
+
+        mono_assign = np.as_monomial_assignment()
+        if mono_assign is not None and len(mono_assign) >= 2:
+            # x_{i1}..x_{ip} ⊕ 1 forces every variable to 1.
+            stats.monomial_assignments += 1
+            for v in mono_assign:
+                system.state.ensure(v)
+                if system.state.assign(v, 1):
+                    stats.assignments += 1
+                    requeue(v)
+            polys[idx] = None
+            continue
+
+        if np is not p:
+            polys[idx] = np
+            for v in np.variables():
+                occ.setdefault(v, set()).add(idx)
+
+    # Rebuild the master copy: residual equations only, renormalised and
+    # deduplicated by AnfSystem.add.
+    residuals = []
+    for p in polys:
+        if p is None:
+            continue
+        np = system.normalize(p)
+        if np.is_one():
+            raise ContradictionError("propagation derived 1 = 0")
+        if not np.is_zero():
+            residuals.append(np)
+    system.replace_all(residuals)
+    return stats
+
+
+def state_polynomials(system: AnfSystem) -> List[Poly]:
+    """Unit and equivalence equations held in the variable state."""
+    out: List[Poly] = []
+    seen_roots = set()
+    for v in range(system.state.n_vars):
+        val = system.state.value(v)
+        root, parity = system.state.find(v)
+        if val is not None:
+            # The unit equation x + val = 0 forces x = val.
+            out.append(Poly.variable(v).add_constant(val))
+        elif root != v:
+            out.append(Poly.variable(v) + Poly.variable(root) + Poly.constant(parity))
+        seen_roots.add(root)
+    return out
+
+
+def materialize(system: AnfSystem) -> List[Poly]:
+    """The full processed ANF: residual equations plus state facts."""
+    return state_polynomials(system) + list(system.polynomials)

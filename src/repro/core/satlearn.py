@@ -1,0 +1,140 @@
+"""Conflict-bounded SAT solving as a fact learner (paper section II-D).
+
+The ANF is converted to CNF and handed to the CDCL solver with a conflict
+budget.  Outcomes:
+
+* UNSAT — the learnt fact is the contradiction ``1 = 0``;
+* SAT — the satisfying assignment is reported (Bosphorus stores it but
+  does not simplify the ANF with it, since it may not be unique);
+* budget exhausted — no verdict.
+
+In the SAT and budget cases, linear equations are harvested from the
+learnt clauses: every literal the solver fixed at decision level 0 gives a
+unit fact, and every complementary pair of learnt binary clauses
+``(a ∨ b), (¬a ∨ ¬b)`` gives the equivalence ``a = ¬b``.  Facts on
+auxiliary (monomial / cut) variables are excluded by default, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..anf.polynomial import Poly
+from ..anf.system import AnfSystem
+from ..sat.solver import SAT, UNKNOWN, UNSAT, Solver, SolverConfig
+from ..sat.types import TRUE, UNDEF, lit_neg, lit_sign, lit_var
+from ..sat.xorengine import XorEngine
+from .anf_to_cnf import AnfToCnf, ConversionResult
+from .config import Config
+
+
+@dataclass
+class SatLearnResult:
+    """Outcome of one conflict-bounded SAT invocation."""
+
+    status: Optional[bool]  # SAT / UNSAT / UNKNOWN
+    facts: List[Poly] = field(default_factory=list)
+    model: Optional[List[int]] = None  # over the ANF variables
+    conflicts: int = 0
+    conversion: Optional[ConversionResult] = None
+
+
+def run_sat(
+    system: AnfSystem,
+    config: Optional[Config] = None,
+    conflict_budget: Optional[int] = None,
+    solver_config: Optional[SolverConfig] = None,
+) -> SatLearnResult:
+    """Convert, solve under a conflict budget, and harvest learnt facts."""
+    config = config or Config()
+    budget = conflict_budget if conflict_budget is not None else config.sat_conflict_start
+    conversion = AnfToCnf(config).convert(system)
+    solver = Solver(solver_config)
+    solver.ensure_vars(conversion.formula.n_vars)
+    ok = True
+    for clause in conversion.formula.clauses:
+        if not solver.add_clause(clause):
+            ok = False
+            break
+    if ok and conversion.formula.xors:
+        engine = XorEngine()
+        for variables, rhs in conversion.formula.xors:
+            engine.add_xor(variables, rhs)
+        solver.attach_xor_engine(engine)
+        ok = solver.ok
+
+    if not ok:
+        return SatLearnResult(
+            status=UNSAT, facts=[Poly.one()], conversion=conversion
+        )
+
+    status = solver.solve(conflict_budget=budget)
+    result = SatLearnResult(
+        status=status, conflicts=solver.num_conflicts, conversion=conversion
+    )
+    if status is UNSAT:
+        result.facts = [Poly.one()]
+        return result
+
+    result.facts = extract_facts(solver, conversion, config)
+    if status is SAT:
+        model = []
+        for v in range(conversion.n_anf_vars):
+            val = solver.model[v] if v < len(solver.model) else UNDEF
+            model.append(1 if val == TRUE else 0)
+        result.model = model
+    return result
+
+
+def extract_facts(
+    solver: Solver, conversion: ConversionResult, config: Config
+) -> List[Poly]:
+    """Translate level-0 units and complementary binaries into ANF facts."""
+    facts: List[Poly] = []
+
+    def usable_monomial(cnf_var: int):
+        m = conversion.monomial_of_var.get(cnf_var)
+        if m is None:
+            return None  # cut variable: never participates in facts
+        if len(m) == 1:
+            return m
+        return m if config.monomial_facts_from_sat else None
+
+    for lit in solver.level0_literals():
+        v = lit_var(lit)
+        m = usable_monomial(v)
+        if m is None:
+            continue
+        value = 0 if lit_sign(lit) else 1
+        if len(m) == 1:
+            facts.append(Poly.variable(m[0]).add_constant(value))
+        elif value == 1:
+            facts.append(Poly.from_monomial(m) + Poly.one())
+        else:
+            facts.append(Poly.from_monomial(m))
+
+    binaries: Set[Tuple[int, int]] = set(solver.learnt_binaries)
+    seen_pairs = set()
+    for (a, b) in binaries:
+        comp = tuple(sorted((lit_neg(a), lit_neg(b))))
+        if comp not in binaries:
+            continue
+        va, vb = lit_var(a), lit_var(b)
+        if va == vb:
+            continue
+        key = tuple(sorted((va, vb)))
+        if key in seen_pairs:
+            continue
+        ma, mb = usable_monomial(va), usable_monomial(vb)
+        if ma is None or mb is None or len(ma) != 1 or len(mb) != 1:
+            continue
+        seen_pairs.add(key)
+        # (a ∨ b) ∧ (¬a ∨ ¬b) ⟺ lit_a ⊕ lit_b = 1 over literal values,
+        # i.e. va ⊕ vb ⊕ (sign_a ⊕ sign_b ⊕ 1) = 0.
+        c = (1 if lit_sign(a) else 0) ^ (1 if lit_sign(b) else 0) ^ 1
+        facts.append(
+            Poly.variable(ma[0]) + Poly.variable(mb[0]) + Poly.constant(c)
+        )
+    return facts

@@ -1,0 +1,47 @@
+"""Solutions and their verification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..anf.polynomial import Poly
+
+
+@dataclass
+class Solution:
+    """A concrete assignment to the problem's variables."""
+
+    values: List[int]
+
+    def __getitem__(self, var: int) -> int:
+        return self.values[var]
+
+    def satisfies(self, polynomials: Sequence[Poly]) -> bool:
+        """True if every equation evaluates to zero under the assignment."""
+        padded = self.values
+        needed = 0
+        for p in polynomials:
+            vs = p.variables()
+            if vs:
+                needed = max(needed, max(vs) + 1)
+        if needed > len(padded):
+            padded = padded + [0] * (needed - len(padded))
+        return all(p.evaluate(padded) == 0 for p in polynomials)
+
+    def violated(self, polynomials: Sequence[Poly]) -> List[Poly]:
+        """The equations the assignment fails (for diagnostics)."""
+        padded = self.values
+        needed = 0
+        for p in polynomials:
+            vs = p.variables()
+            if vs:
+                needed = max(needed, max(vs) + 1)
+        if needed > len(padded):
+            padded = padded + [0] * (needed - len(padded))
+        return [p for p in polynomials if p.evaluate(padded) != 0]
+
+    def __repr__(self) -> str:
+        bits = "".join(str(v) for v in self.values[:64])
+        suffix = "..." if len(self.values) > 64 else ""
+        return "Solution({}{})".format(bits, suffix)

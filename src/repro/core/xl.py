@@ -1,0 +1,135 @@
+"""eXtended Linearization (paper section II-B).
+
+XL multiplies sampled equations by all monomials up to degree D, then runs
+Gauss–Jordan on the linearised expansion.  Bosphorus uses XL not to solve
+but to *learn facts*: only the linear and single-monomial rows of the
+reduced system are retained.
+
+Subsampling follows the paper: polynomials are drawn uniformly until the
+linearised system size ``m' * n'`` reaches ``2**M``, and the expansion is
+stopped once the size is near ``2**(M + δM)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..anf import monomial as mono
+from ..anf.polynomial import Poly
+from .config import Config
+from .linearize import Linearization, extract_facts
+
+
+@dataclass
+class XlResult:
+    """Outcome of one XL invocation."""
+
+    facts: List[Poly] = field(default_factory=list)
+    sampled: int = 0
+    expanded_rows: int = 0
+    columns: int = 0
+
+
+def _subsample(
+    polys: Sequence[Poly], target_bits: int, rng: random.Random
+) -> List[Poly]:
+    """Uniformly sample polynomials until m'·n' ≳ 2**target_bits."""
+    order = list(range(len(polys)))
+    rng.shuffle(order)
+    target = 1 << target_bits
+    chosen: List[Poly] = []
+    monomials = set()
+    for idx in order:
+        p = polys[idx]
+        chosen.append(p)
+        monomials.update(p.monomials)
+        if len(chosen) * max(len(monomials), 1) >= target:
+            break
+    return chosen
+
+
+def _multipliers(variables: Sequence[int], degree: int) -> List[mono.Monomial]:
+    """All monomials of degree 1..``degree`` over the given variables."""
+    out: List[mono.Monomial] = []
+    current: List[mono.Monomial] = [mono.ONE]
+    for _ in range(degree):
+        nxt: List[mono.Monomial] = []
+        seen = set()
+        for m in current:
+            for v in variables:
+                if v in m:
+                    continue
+                nm = mono.mul(m, (v,))
+                if nm not in seen:
+                    seen.add(nm)
+                    nxt.append(nm)
+        out.extend(nxt)
+        current = nxt
+    return out
+
+
+def run_xl(
+    polynomials: Sequence[Poly],
+    config: Optional[Config] = None,
+    rng: Optional[random.Random] = None,
+) -> XlResult:
+    """One XL pass: subsample, expand, eliminate, extract facts.
+
+    ``polynomials`` is the (already propagated) master equation list; the
+    returned facts are *not* yet folded into any system.
+    """
+    config = config or Config()
+    rng = rng or random.Random(config.seed)
+    result = XlResult()
+    polys = [p for p in polynomials if not p.is_zero()]
+    if not polys:
+        return result
+
+    sample = _subsample(polys, config.xl_sample_bits, rng)
+    result.sampled = len(sample)
+    variables = sorted({v for p in sample for v in p.variables()})
+
+    # Expand in ascending degree order of the source equation, stopping
+    # when the linearised size reaches 2**(M + δM) (or the hard caps).
+    size_cap = 1 << (config.xl_sample_bits + config.xl_expand_allowance)
+    expanded: List[Poly] = []
+    monomials = set()
+    multipliers = _multipliers(variables, config.xl_degree)
+
+    def size_ok() -> bool:
+        return (
+            len(expanded) * max(len(monomials), 1) < size_cap
+            and len(expanded) < config.xl_max_rows
+            and len(monomials) < config.xl_max_cols
+        )
+
+    def push(p: Poly) -> None:
+        expanded.append(p)
+        monomials.update(p.monomials)
+
+    for p in sorted(sample, key=lambda q: q.degree()):
+        push(p)
+        if not size_ok():
+            break
+    if size_ok():
+        for p in sorted(sample, key=lambda q: q.degree()):
+            for m in multipliers:
+                q = p * Poly.from_monomial(m)
+                if not q.is_zero():
+                    push(q)
+                if not size_ok():
+                    break
+            if not size_ok():
+                break
+
+    result.expanded_rows = len(expanded)
+    lin = Linearization(expanded)
+    result.columns = lin.n_cols
+    matrix = lin.to_matrix(expanded)
+    matrix.rref()
+    reduced = lin.rows_to_polys(matrix)
+    linear, monomial_rows = extract_facts(reduced)
+    result.facts = linear + monomial_rows
+    return result

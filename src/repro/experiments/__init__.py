@@ -1,0 +1,47 @@
+"""Evaluation harness: PAR-2 scoring and the Table II drivers."""
+
+from .par2 import ScoreLine, par2_score
+from .runner import (
+    PERSONALITIES,
+    Problem,
+    RunResult,
+    run_family,
+    run_final_solver,
+    run_instance,
+    solve_with_budget,
+)
+from .report import cactus_points, markdown_table, render_cactus, solved_counts
+from .tables import (
+    TableBlock,
+    bitcoin_problems,
+    format_blocks,
+    run_block,
+    satcomp_hard_problems,
+    satcomp_problems,
+    simon_problems,
+    sr_problems,
+)
+
+__all__ = [
+    "ScoreLine",
+    "par2_score",
+    "Problem",
+    "RunResult",
+    "PERSONALITIES",
+    "run_instance",
+    "run_family",
+    "run_final_solver",
+    "solve_with_budget",
+    "TableBlock",
+    "run_block",
+    "format_blocks",
+    "sr_problems",
+    "simon_problems",
+    "bitcoin_problems",
+    "satcomp_problems",
+    "satcomp_hard_problems",
+    "cactus_points",
+    "render_cactus",
+    "markdown_table",
+    "solved_counts",
+]

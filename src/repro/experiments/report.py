@@ -1,0 +1,92 @@
+"""Reporting helpers: cactus plots and markdown experiment tables.
+
+The SAT community's standard figure — the cactus plot (instances solved
+versus per-instance time budget) — summarises exactly the comparison the
+paper's Table II makes.  :func:`cactus_points` computes the curve and
+:func:`render_cactus` draws an ASCII version for terminal reports;
+:func:`markdown_table` renders Table II blocks for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .par2 import ScoreLine
+from .tables import _SOLVER_TITLES, TableBlock
+
+
+def cactus_points(
+    results: Sequence[Tuple[Optional[bool], float]]
+) -> List[Tuple[float, int]]:
+    """The cactus curve: sorted solve times → (time, #solved ≤ time)."""
+    times = sorted(sec for verdict, sec in results if verdict is not None)
+    return [(t, i + 1) for i, t in enumerate(times)]
+
+
+def render_cactus(
+    curves: Dict[str, Sequence[Tuple[Optional[bool], float]]],
+    width: int = 60,
+    height: int = 12,
+    timeout: Optional[float] = None,
+) -> str:
+    """ASCII cactus plot for several configurations.
+
+    ``curves`` maps a label to its (verdict, seconds) runs.  Each curve
+    gets a distinct marker; x is time (linear), y is instances solved.
+    """
+    points = {label: cactus_points(runs) for label, runs in curves.items()}
+    max_time = timeout or max(
+        (t for pts in points.values() for t, _ in pts), default=1.0
+    )
+    max_solved = max(
+        (n for pts in points.values() for _, n in pts), default=1
+    )
+    if max_time <= 0:
+        max_time = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for idx, (label, pts) in enumerate(sorted(points.items())):
+        mark = markers[idx % len(markers)]
+        legend.append("{} = {}".format(mark, label))
+        for t, n in pts:
+            x = min(int(t / max_time * (width - 1)), width - 1)
+            y = min(int((n - 1) / max(max_solved, 1) * (height - 1)), height - 1)
+            grid[height - 1 - y][x] = mark
+    lines = ["solved"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width + "> time (max {:.1f}s)".format(max_time))
+    lines.append("   ".join(legend))
+    return "\n".join(lines)
+
+
+def markdown_table(blocks: Sequence[TableBlock]) -> str:
+    """Table II blocks as a GitHub-markdown table (for EXPERIMENTS.md)."""
+    if not blocks:
+        return ""
+    personalities = blocks[0].personalities
+    titles = [_SOLVER_TITLES.get(p, p) for p in personalities]
+    lines = [
+        "| Problem | | " + " | ".join(titles) + " |",
+        "|---|---|" + "---|" * len(titles),
+    ]
+    for block in blocks:
+        for use_b, tag in ((False, "w/o"), (True, "w")):
+            label = "{} ({})".format(block.label, block.n_instances) if not use_b else ""
+            cells = block.row(use_b)
+            lines.append(
+                "| {} | {} | ".format(label, tag) + " | ".join(cells) + " |"
+            )
+    return "\n".join(lines)
+
+
+def solved_counts(block: TableBlock) -> Dict[str, Tuple[int, int]]:
+    """Per-personality (without, with) solved counts for quick checks."""
+    out = {}
+    for personality in block.personalities:
+        out[personality] = (
+            block.scores[(personality, False)].solved,
+            block.scores[(personality, True)].solved,
+        )
+    return out

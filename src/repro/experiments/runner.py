@@ -1,0 +1,265 @@
+"""Experiment runner: instances x {with, without Bosphorus} x 3 solvers.
+
+Reproduces the paper's Table II protocol:
+
+* *without* Bosphorus the problem is only converted to CNF (if it is an
+  ANF) and handed to the final solver;
+* *with* Bosphorus the fact-learning loop runs first (under its own
+  budget), then the final solver gets the processed CNF — and if
+  Bosphorus already decided the instance, that verdict (and its time)
+  stands.
+
+Three solver personalities stand in for MiniSat / Lingeling /
+CryptoMiniSat5 (DESIGN.md §4, substitution 5).  Time budgets are enforced
+by running the CDCL search in conflict-sized slices and checking the wall
+clock between slices, so a slow instance cannot wedge the harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..anf.polynomial import Poly
+from ..anf.ring import Ring
+from ..anf.system import AnfSystem, ContradictionError
+from ..core.anf_to_cnf import AnfToCnf
+from ..core.bosphorus import Bosphorus
+from ..core.config import Config
+from ..core.solution import Solution
+from ..sat.dimacs import CnfFormula
+from ..sat.preprocess import Preprocessor
+from ..sat.solver import Solver, SolverConfig
+from ..sat import cms_config, lingeling_config, minisat_config
+from ..sat.types import TRUE, UNDEF
+from ..sat.xorengine import XorEngine
+
+PERSONALITIES = ("minisat", "lingeling", "cms")
+
+
+@dataclass
+class Problem:
+    """One benchmark instance: an ANF or a CNF."""
+
+    name: str
+    kind: str  # "anf" | "cnf"
+    ring: Optional[Ring] = None
+    polynomials: Optional[List[Poly]] = None
+    formula: Optional[CnfFormula] = None
+    expected: Optional[bool] = None
+    witness: Optional[List[int]] = None
+
+    @staticmethod
+    def from_anf(name, ring, polynomials, expected=True, witness=None) -> "Problem":
+        return Problem(name, "anf", ring=ring, polynomials=polynomials,
+                       expected=expected, witness=witness)
+
+    @staticmethod
+    def from_cnf(name, formula, expected=None) -> "Problem":
+        return Problem(name, "cnf", formula=formula, expected=expected)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (instance, configuration) run."""
+
+    verdict: Optional[bool]  # True SAT / False UNSAT / None unsolved
+    seconds: float
+    bosphorus_seconds: float = 0.0
+    conflicts: int = 0
+    model_checked: Optional[bool] = None
+    decided_by_bosphorus: bool = False
+
+
+def _solver_for(personality: str) -> SolverConfig:
+    if personality == "minisat":
+        return minisat_config()
+    if personality == "lingeling":
+        return lingeling_config()
+    if personality == "cms":
+        return cms_config()
+    raise ValueError("unknown personality: " + personality)
+
+
+def solve_with_budget(
+    solver: Solver, deadline: float, slice_conflicts: int = 500
+) -> Optional[bool]:
+    """Run CDCL in slices until verdict or the wall-clock deadline."""
+    while True:
+        verdict = solver.solve(conflict_budget=slice_conflicts)
+        if verdict is not None:
+            return verdict
+        if time.monotonic() >= deadline:
+            return None
+
+
+def run_final_solver(
+    formula: CnfFormula,
+    personality: str,
+    timeout_s: float,
+    deadline: Optional[float] = None,
+) -> Tuple[Optional[bool], Optional[List[int]], int]:
+    """Solve a CNF with one of the three personalities.
+
+    Returns ``(verdict, model, conflicts)``; the model covers the
+    formula's variables when SAT.
+    """
+    deadline = deadline if deadline is not None else time.monotonic() + timeout_s
+    if personality == "cms" and not formula.xors:
+        # CryptoMiniSat recovers Tseitin-encoded XORs from plain CNF.
+        from ..sat.xorrecovery import formula_with_recovered_xors
+
+        formula = formula_with_recovered_xors(formula)
+    clauses = [list(c) for c in formula.clauses]
+    n_vars = formula.n_vars
+    preprocessor = None
+    if personality == "lingeling":
+        preprocessor = Preprocessor(n_vars, clauses)
+        pre = preprocessor.run()
+        if not pre.status:
+            return False, None, 0
+        clauses = pre.clauses
+
+    solver = Solver(_solver_for(personality))
+    solver.ensure_vars(n_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return False, None, solver.num_conflicts
+    if personality == "cms" and formula.xors:
+        engine = XorEngine()
+        for variables, rhs in formula.xors:
+            engine.add_xor(variables, rhs)
+        solver.attach_xor_engine(engine)
+        if not solver.ok:
+            return False, None, solver.num_conflicts
+
+    verdict = solve_with_budget(solver, deadline)
+    model = None
+    if verdict is True:
+        raw = [TRUE if v < len(solver.model) and solver.model[v] == TRUE else 0
+               for v in range(n_vars)]
+        if preprocessor is not None:
+            raw = preprocessor.extend_model(
+                [solver.model[v] if v < len(solver.model) else UNDEF
+                 for v in range(n_vars)]
+            )
+        model = [1 if x == TRUE else 0 for x in raw]
+    return verdict, model, solver.num_conflicts
+
+
+def _convert_anf(problem: Problem, config: Config, personality: str) -> CnfFormula:
+    cfg = config.with_(emit_xor_clauses=(personality == "cms"))
+    system = AnfSystem(problem.ring.clone(), problem.polynomials)
+    return AnfToCnf(cfg).convert(system).formula
+
+
+def run_instance(
+    problem: Problem,
+    personality: str,
+    use_bosphorus: bool,
+    timeout_s: float = 10.0,
+    bosphorus_config: Optional[Config] = None,
+) -> RunResult:
+    """One Table II cell entry for one instance."""
+    config = bosphorus_config or Config()
+    start = time.monotonic()
+    deadline = start + timeout_s
+    bosphorus_seconds = 0.0
+    decided = False
+
+    if not use_bosphorus:
+        if problem.kind == "anf":
+            try:
+                formula = _convert_anf(problem, config, personality)
+            except ContradictionError:
+                return RunResult(False, time.monotonic() - start)
+        else:
+            formula = problem.formula
+        verdict, model, conflicts = run_final_solver(
+            formula, personality, timeout_s, deadline
+        )
+        seconds = time.monotonic() - start
+        checked = _check_model(problem, model) if verdict is True else None
+        return RunResult(verdict, seconds, 0.0, conflicts, checked)
+
+    # With Bosphorus: learn facts first.
+    b_start = time.monotonic()
+    bosph = Bosphorus(config)
+    if problem.kind == "anf":
+        result = bosph.preprocess_anf(problem.ring.clone(), list(problem.polynomials))
+    else:
+        result = bosph.preprocess_cnf(problem.formula)
+    bosphorus_seconds = time.monotonic() - b_start
+
+    if result.is_unsat:
+        return RunResult(False, time.monotonic() - start, bosphorus_seconds,
+                         0, None, decided_by_bosphorus=True)
+    if result.is_sat and result.solution is not None:
+        checked = _check_model(problem, result.solution.values)
+        return RunResult(True, time.monotonic() - start, bosphorus_seconds,
+                         0, checked, decided_by_bosphorus=True)
+
+    # Final solving on the processed problem.
+    if problem.kind == "cnf":
+        formula = result.augmented_cnf or result.cnf
+    elif personality == "cms" and result.system is not None:
+        formula = AnfToCnf(config.with_(emit_xor_clauses=True)).convert(result.system).formula
+    else:
+        formula = result.cnf
+    verdict, model, conflicts = run_final_solver(
+        formula, personality, timeout_s, deadline
+    )
+    seconds = time.monotonic() - start
+    checked = _check_model(problem, model) if verdict is True else None
+    return RunResult(verdict, seconds, bosphorus_seconds, conflicts, checked)
+
+
+def _check_model(problem: Problem, model: Optional[List[int]]) -> Optional[bool]:
+    """Validate a SAT model against the original problem when possible."""
+    if model is None:
+        return None
+    if problem.kind == "anf":
+        n = problem.ring.n_vars
+        values = list(model[:n]) + [0] * max(0, n - len(model))
+        return Solution(values).satisfies(problem.polynomials)
+    # CNF: check all clauses.
+    formula = problem.formula
+    padded = list(model) + [0] * max(0, formula.n_vars - len(model))
+    for clause in formula.clauses:
+        if not any(padded[l >> 1] ^ (l & 1) for l in clause):
+            return False
+    for variables, rhs in formula.xors:
+        if sum(padded[v] for v in variables) & 1 != rhs:
+            return False
+    return True
+
+
+def run_family(
+    problems: Sequence[Problem],
+    personalities: Sequence[str] = PERSONALITIES,
+    timeout_s: float = 10.0,
+    bosphorus_config: Optional[Config] = None,
+) -> Dict[Tuple[str, bool], List[Tuple[Optional[bool], float]]]:
+    """All (personality, with/without) runs for one problem family.
+
+    Returns ``{(personality, use_bosphorus): [(verdict, seconds), ...]}``,
+    ready for :func:`repro.experiments.par2.par2_score`.
+    """
+    out: Dict[Tuple[str, bool], List[Tuple[Optional[bool], float]]] = {}
+    for personality in personalities:
+        for use_b in (False, True):
+            runs = []
+            for problem in problems:
+                res = run_instance(
+                    problem, personality, use_b, timeout_s, bosphorus_config
+                )
+                if res.model_checked is False:
+                    raise AssertionError(
+                        "invalid model for {} ({}, bosphorus={})".format(
+                            problem.name, personality, use_b
+                        )
+                    )
+                runs.append((res.verdict, res.seconds))
+            out[(personality, use_b)] = runs
+    return out

@@ -1,0 +1,5 @@
+"""Bit-packed GF(2) linear algebra (our M4RI replacement)."""
+
+from .matrix import GF2Matrix, rref_rows
+
+__all__ = ["GF2Matrix", "rref_rows"]

@@ -1,0 +1,272 @@
+"""Dense GF(2) linear algebra on bit-packed matrices.
+
+This is our stand-in for M4RI: rows are packed 64 columns per ``uint64``
+word in a numpy array, and Gauss–Jordan elimination works a column at a
+time with vectorised row XORs.  That keeps the inner loop in numpy, which
+is what makes XL and ElimLin usable from pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class GF2Matrix:
+    """A dense matrix over GF(2) with bit-packed rows."""
+
+    def __init__(self, n_rows: int, n_cols: int):
+        """Create an all-zero ``n_rows`` x ``n_cols`` matrix."""
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self._words = (n_cols + 63) // 64
+        self._data = np.zeros((n_rows, max(self._words, 1)), dtype=np.uint64)
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def from_rows(rows: Sequence[Iterable[int]], n_cols: int) -> "GF2Matrix":
+        """Build from an iterable of rows, each a set/list of 1-column indices."""
+        m = GF2Matrix(len(rows), n_cols)
+        for i, cols in enumerate(rows):
+            for j in cols:
+                m.set(i, j, 1)
+        return m
+
+    @staticmethod
+    def from_dense(array) -> "GF2Matrix":
+        """Build from a dense 0/1 array-like (list of lists or ndarray)."""
+        arr = np.asarray(array, dtype=np.uint8) & 1
+        if arr.ndim != 2:
+            raise ValueError("expected a 2-D array")
+        m = GF2Matrix(arr.shape[0], arr.shape[1])
+        for i in range(arr.shape[0]):
+            for j in np.nonzero(arr[i])[0]:
+                m.set(i, int(j), 1)
+        return m
+
+    @staticmethod
+    def identity(n: int) -> "GF2Matrix":
+        """The n x n identity matrix."""
+        m = GF2Matrix(n, n)
+        for i in range(n):
+            m.set(i, i, 1)
+        return m
+
+    def copy(self) -> "GF2Matrix":
+        """Deep copy."""
+        m = GF2Matrix(self.n_rows, self.n_cols)
+        m._data = self._data.copy()
+        return m
+
+    # -- element access ------------------------------------------------------
+
+    def get(self, i: int, j: int) -> int:
+        """Entry (i, j) as 0 or 1."""
+        self._check(i, j)
+        return int((self._data[i, j >> 6] >> np.uint64(j & 63)) & np.uint64(1))
+
+    def set(self, i: int, j: int, value: int) -> None:
+        """Set entry (i, j) to ``value & 1``."""
+        self._check(i, j)
+        mask = np.uint64(1) << np.uint64(j & 63)
+        if value & 1:
+            self._data[i, j >> 6] |= mask
+        else:
+            self._data[i, j >> 6] &= ~mask
+
+    def flip(self, i: int, j: int) -> None:
+        """XOR entry (i, j) with 1."""
+        self._check(i, j)
+        self._data[i, j >> 6] ^= np.uint64(1) << np.uint64(j & 63)
+
+    def _check(self, i: int, j: int) -> None:
+        if not (0 <= i < self.n_rows and 0 <= j < self.n_cols):
+            raise IndexError("({}, {}) out of range".format(i, j))
+
+    # -- row level ops -------------------------------------------------------
+
+    def row_cols(self, i: int) -> List[int]:
+        """Column indices of the 1-entries in row ``i`` (ascending)."""
+        out: List[int] = []
+        row = self._data[i]
+        for w in range(self._words):
+            word = int(row[w])
+            base = w << 6
+            while word:
+                low = word & -word
+                out.append(base + low.bit_length() - 1)
+                word ^= low
+        return out
+
+    def row_is_zero(self, i: int) -> bool:
+        """True if row ``i`` is all zeros."""
+        return not self._data[i].any()
+
+    def xor_row_into(self, src: int, dst: int) -> None:
+        """row[dst] ^= row[src]."""
+        self._data[dst] ^= self._data[src]
+
+    def swap_rows(self, a: int, b: int) -> None:
+        """Exchange two rows."""
+        if a != b:
+            self._data[[a, b]] = self._data[[b, a]]
+
+    def append_row(self, cols: Iterable[int]) -> int:
+        """Append a row with 1s in ``cols``; returns the new row index."""
+        new = np.zeros((1, self._data.shape[1]), dtype=np.uint64)
+        for j in cols:
+            if not 0 <= j < self.n_cols:
+                raise IndexError(j)
+            new[0, j >> 6] ^= np.uint64(1) << np.uint64(j & 63)
+        self._data = np.vstack([self._data, new])
+        self.n_rows += 1
+        return self.n_rows - 1
+
+    # -- elimination ---------------------------------------------------------
+
+    def _column_mask(self, j: int):
+        word, mask = j >> 6, np.uint64(1) << np.uint64(j & 63)
+        return word, mask
+
+    def rref(self, max_cols: Optional[int] = None) -> List[int]:
+        """In-place reduced row echelon form (full Gauss–Jordan).
+
+        Columns are processed left to right (up to ``max_cols`` if given).
+        Returns the list of pivot column indices, in order; ``len`` of the
+        result is the rank of the processed block.
+        """
+        ncols = self.n_cols if max_cols is None else min(max_cols, self.n_cols)
+        pivots: List[int] = []
+        rank = 0
+        data = self._data
+        for j in range(ncols):
+            if rank >= self.n_rows:
+                break
+            word, mask = self._column_mask(j)
+            col = data[:, word] & mask
+            candidates = np.nonzero(col[rank:])[0]
+            if candidates.size == 0:
+                continue
+            pivot = rank + int(candidates[0])
+            if pivot != rank:
+                data[[rank, pivot]] = data[[pivot, rank]]
+                col = data[:, word] & mask
+            hit = np.nonzero(col)[0]
+            hit = hit[hit != rank]
+            if hit.size:
+                data[hit] ^= data[rank]
+            pivots.append(j)
+            rank += 1
+        return pivots
+
+    def rank(self) -> int:
+        """Rank of the matrix (works on a copy; self is unchanged)."""
+        return len(self.copy().rref())
+
+    def nonzero_rows(self) -> List[int]:
+        """Indices of rows that are not entirely zero."""
+        return [i for i in range(self.n_rows) if self._data[i].any()]
+
+    # -- solving -------------------------------------------------------------
+
+    def solve_affine(self, rhs: Sequence[int]) -> Optional[List[int]]:
+        """Solve ``A x = b`` over GF(2); returns one solution or None.
+
+        ``rhs`` is a 0/1 vector of length ``n_rows``.  Free variables are
+        set to zero.
+        """
+        if len(rhs) != self.n_rows:
+            raise ValueError("rhs length mismatch")
+        aug = GF2Matrix(self.n_rows, self.n_cols + 1)
+        aug._data[:, : self._words] = self._data
+        # Re-pack if the extra column spills into a new word.
+        for i, b in enumerate(rhs):
+            if b & 1:
+                aug.set(i, self.n_cols, 1)
+        pivots = aug.rref(max_cols=self.n_cols)
+        # Inconsistent iff some row reads 0 = 1.
+        for i in range(aug.n_rows):
+            cols = aug.row_cols(i)
+            if cols == [self.n_cols]:
+                return None
+        x = [0] * self.n_cols
+        for r, j in enumerate(pivots):
+            if aug.get(r, self.n_cols):
+                x[j] = 1
+        return x
+
+    def transpose(self) -> "GF2Matrix":
+        """The transposed matrix."""
+        out = GF2Matrix(self.n_cols, self.n_rows)
+        for i in range(self.n_rows):
+            for j in self.row_cols(i):
+                out.set(j, i, 1)
+        return out
+
+    def multiply(self, other: "GF2Matrix") -> "GF2Matrix":
+        """Matrix product over GF(2).
+
+        Row i of the result is the XOR of ``other``'s rows selected by the
+        1-entries of row i — the same word-level trick M4RI uses, so the
+        inner loop stays vectorised.
+        """
+        if self.n_cols != other.n_rows:
+            raise ValueError("dimension mismatch")
+        out = GF2Matrix(self.n_rows, other.n_cols)
+        for i in range(self.n_rows):
+            acc = np.zeros_like(out._data[0])
+            for k in self.row_cols(i):
+                acc ^= other._data[k]
+            out._data[i] = acc
+        return out
+
+    def kernel_basis(self) -> List[List[int]]:
+        """A basis of the right null space {x : A·x = 0}.
+
+        Returned as dense 0/1 vectors of length ``n_cols``.
+        """
+        reduced = self.copy()
+        pivots = reduced.rref()
+        pivot_set = set(pivots)
+        free_cols = [j for j in range(self.n_cols) if j not in pivot_set]
+        pivot_row = {col: row for row, col in enumerate(pivots)}
+        basis = []
+        for free in free_cols:
+            vec = [0] * self.n_cols
+            vec[free] = 1
+            # Back-substitute: each pivot column equals the sum of free
+            # columns appearing in its row.
+            for col, row in pivot_row.items():
+                if reduced.get(row, free):
+                    vec[col] = 1
+            basis.append(vec)
+        return basis
+
+    def to_dense(self) -> "np.ndarray":
+        """Dense uint8 0/1 array (for tests and display)."""
+        out = np.zeros((self.n_rows, self.n_cols), dtype=np.uint8)
+        for i in range(self.n_rows):
+            for j in self.row_cols(i):
+                out[i, j] = 1
+        return out
+
+    def __repr__(self) -> str:
+        return "GF2Matrix({}x{})".format(self.n_rows, self.n_cols)
+
+
+def rref_rows(
+    rows: Sequence[Iterable[int]], n_cols: int
+) -> Tuple[List[List[int]], List[int]]:
+    """Convenience: RREF over sparse row input.
+
+    Returns ``(reduced_rows, pivot_columns)`` where ``reduced_rows`` lists
+    the non-zero rows of the reduced matrix as sorted column-index lists.
+    """
+    m = GF2Matrix.from_rows(rows, n_cols)
+    pivots = m.rref()
+    reduced = [m.row_cols(i) for i in range(m.n_rows)]
+    return [r for r in reduced if r], pivots

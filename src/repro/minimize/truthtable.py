@@ -1,0 +1,37 @@
+"""Truth tables (Karnaugh maps) of small Boolean polynomials.
+
+The ANF→CNF Karnaugh path (paper section III-C approach 1) evaluates the
+polynomial over all assignments of its support and minimises the resulting
+on-set.  With the paper's Karnaugh parameter K = 8 this is at most 256
+evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..anf.polynomial import Poly
+
+
+def truth_table(poly: Poly, variables: Sequence[int]) -> List[int]:
+    """On-set minterm indices of ``poly`` over the given variable order.
+
+    Bit ``i`` of a minterm index is the value of ``variables[i]``.  The
+    returned minterms are exactly the assignments where the polynomial
+    evaluates to 1 — i.e. the assignments *forbidden* by the equation
+    ``poly = 0``.
+    """
+    n = len(variables)
+    on = []
+    assignment = {}
+    for m in range(1 << n):
+        for i, v in enumerate(variables):
+            assignment[v] = (m >> i) & 1
+        if poly.evaluate(assignment):
+            on.append(m)
+    return on
+
+
+def poly_support(poly: Poly) -> Tuple[int, ...]:
+    """Sorted variable support of a polynomial."""
+    return tuple(sorted(poly.variables()))

@@ -1,0 +1,75 @@
+"""CDCL SAT solving substrate (our MiniSat/Lingeling/CryptoMiniSat stand-in).
+
+Three *personalities* reproduce the paper's three back-end solvers:
+
+* :func:`minisat_config` — plain CDCL (MiniSat 2.2 role),
+* :func:`lingeling_config` — CDCL + SatELite preprocessing (Lingeling role),
+* :func:`cms_config` — CDCL + native XOR/GJE engine (CryptoMiniSat5 role).
+"""
+
+from .clause import Clause
+from .dimacs import CnfFormula, DimacsError, parse_dimacs, read_dimacs, write_dimacs
+from .drat import DratProof, check_rup
+from .preprocess import Preprocessor, PreprocessResult
+from .solver import SAT, UNKNOWN, UNSAT, Solver, SolverConfig, luby
+from .types import (
+    FALSE,
+    TRUE,
+    UNDEF,
+    lit_from_dimacs,
+    lit_neg,
+    lit_sign,
+    lit_to_dimacs,
+    lit_var,
+    mk_lit,
+)
+from .xorengine import XorClause, XorEngine
+from .xorrecovery import formula_with_recovered_xors, recover_xors
+
+
+def minisat_config() -> SolverConfig:
+    """Plain CDCL tuned like MiniSat 2.2."""
+    return SolverConfig(var_decay=0.95, restart_base=100, use_luby=True)
+
+
+def lingeling_config() -> SolverConfig:
+    """More aggressive restarts; pair with the SatELite preprocessor."""
+    return SolverConfig(var_decay=0.85, restart_base=50, use_luby=True)
+
+
+def cms_config() -> SolverConfig:
+    """CDCL settings used with the XOR engine (CryptoMiniSat role)."""
+    return SolverConfig(var_decay=0.95, restart_base=100, use_luby=True)
+
+
+__all__ = [
+    "Clause",
+    "DratProof",
+    "check_rup",
+    "Solver",
+    "SolverConfig",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "luby",
+    "Preprocessor",
+    "PreprocessResult",
+    "XorEngine",
+    "XorClause",
+    "recover_xors",
+    "formula_with_recovered_xors",
+    "CnfFormula",
+    "DimacsError",
+    "parse_dimacs",
+    "read_dimacs",
+    "write_dimacs",
+    "mk_lit",
+    "lit_var",
+    "lit_sign",
+    "lit_neg",
+    "lit_from_dimacs",
+    "lit_to_dimacs",
+    "TRUE",
+    "FALSE",
+    "UNDEF",
+]

@@ -1,0 +1,98 @@
+"""DIMACS CNF reading and writing.
+
+Supports the standard ``p cnf`` header, comment lines, and (as an
+extension, mirroring CryptoMiniSat) ``x`` lines for XOR constraints:
+``x 1 -2 3 0`` means ``v1 ⊕ v2 ⊕ v3 = 0`` (a leading ``-`` on the first
+literal flips the right-hand side, CMS-style).
+"""
+
+from __future__ import annotations
+
+from typing import List, TextIO, Tuple
+
+from .types import lit_from_dimacs, lit_to_dimacs
+
+
+class DimacsError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+class CnfFormula:
+    """A parsed CNF: clause list plus optional XOR constraints."""
+
+    def __init__(self, n_vars: int = 0):
+        self.n_vars = n_vars
+        self.clauses: List[List[int]] = []
+        self.xors: List[Tuple[List[int], int]] = []
+
+    def add_clause(self, lits: List[int]) -> None:
+        for l in lits:
+            self.n_vars = max(self.n_vars, (l >> 1) + 1)
+        self.clauses.append(lits)
+
+    def add_xor(self, variables: List[int], rhs: int) -> None:
+        for v in variables:
+            self.n_vars = max(self.n_vars, v + 1)
+        self.xors.append((variables, rhs & 1))
+
+
+def parse_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS text into a :class:`CnfFormula`."""
+    formula = CnfFormula()
+    declared = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError("bad problem line: {!r}".format(line))
+            declared = (int(parts[2]), int(parts[3]))
+            formula.n_vars = max(formula.n_vars, declared[0])
+            continue
+        is_xor = False
+        if line.startswith("x"):
+            is_xor = True
+            line = line[1:]
+        try:
+            nums = [int(tok) for tok in line.split()]
+        except ValueError:
+            raise DimacsError("bad clause line: {!r}".format(raw))
+        if not nums or nums[-1] != 0:
+            raise DimacsError("clause not 0-terminated: {!r}".format(raw))
+        nums = nums[:-1]
+        if not nums:
+            formula.add_clause([])
+            continue
+        if is_xor:
+            rhs = 1
+            variables = []
+            for n in nums:
+                if n < 0:
+                    rhs ^= 1
+                variables.append(abs(n) - 1)
+            formula.add_xor(variables, rhs)
+        else:
+            formula.add_clause([lit_from_dimacs(n) for n in nums])
+    return formula
+
+
+def read_dimacs(f: TextIO) -> CnfFormula:
+    """Read DIMACS from an open file."""
+    return parse_dimacs(f.read())
+
+
+def write_dimacs(f: TextIO, formula: CnfFormula, comments: List[str] = ()) -> None:
+    """Write a formula in DIMACS, including any XOR constraints."""
+    for line in comments:
+        f.write("c {}\n".format(line))
+    f.write("p cnf {} {}\n".format(formula.n_vars, len(formula.clauses) + len(formula.xors)))
+    for clause in formula.clauses:
+        f.write(" ".join(str(lit_to_dimacs(l)) for l in clause))
+        f.write(" 0\n")
+    for variables, rhs in formula.xors:
+        toks = [v + 1 for v in variables]
+        if rhs == 0 and toks:
+            toks[0] = -toks[0]
+        f.write("x " + " ".join(str(t) for t in toks) + " 0\n")

@@ -1,0 +1,47 @@
+"""Literal encoding and tri-state values for the CDCL solver.
+
+Variables are integers ``0..n-1``.  A literal packs a variable and a sign
+into one int: ``2*v`` is the positive literal, ``2*v + 1`` the negative
+one.  This is MiniSat's encoding and keeps literal negation a single XOR.
+"""
+
+from __future__ import annotations
+
+# Tri-state assignment values.
+TRUE = 1
+FALSE = 0
+UNDEF = -1
+
+
+def mk_lit(var: int, negated: bool = False) -> int:
+    """Build a literal from a variable index and sign."""
+    return (var << 1) | (1 if negated else 0)
+
+
+def lit_var(lit: int) -> int:
+    """The variable underlying a literal."""
+    return lit >> 1
+
+
+def lit_sign(lit: int) -> bool:
+    """True if the literal is negative."""
+    return bool(lit & 1)
+
+
+def lit_neg(lit: int) -> int:
+    """The complementary literal."""
+    return lit ^ 1
+
+
+def lit_from_dimacs(n: int) -> int:
+    """DIMACS integer (1-based, sign = polarity) to internal literal."""
+    if n == 0:
+        raise ValueError("0 is not a DIMACS literal")
+    v = abs(n) - 1
+    return mk_lit(v, n < 0)
+
+
+def lit_to_dimacs(lit: int) -> int:
+    """Internal literal to DIMACS integer."""
+    v = lit_var(lit) + 1
+    return -v if lit_sign(lit) else v

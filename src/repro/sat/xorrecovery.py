@@ -1,0 +1,91 @@
+"""Recovering XOR constraints hidden in CNF clauses.
+
+CryptoMiniSat detects XOR constraints that were Tseitin-encoded into CNF
+(an l-variable XOR appears as the ``2**(l-1)`` clauses forbidding the
+wrong-parity assignments) and reasons on them natively.  This module
+reproduces that detection so our ``cms`` personality keeps its edge on
+CNF inputs, the same way the real tool does in the paper's SAT-2017
+block.
+
+Detection: group clauses by variable support; a support of size l carries
+an XOR of right-hand side r iff all ``2**(l-1)`` clauses with sign-parity
+``1 - r`` are present.  Subsumed partial groups are left untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .dimacs import CnfFormula
+from .types import lit_sign, lit_var
+
+
+def recover_xors(
+    clauses: Sequence[Sequence[int]], max_width: int = 6
+) -> Tuple[List[Tuple[List[int], int]], List[int]]:
+    """Find full XOR constraints among the clauses.
+
+    Returns ``(xors, used_clause_indices)`` where each xor is
+    ``(variables, rhs)``.  Only supports of at most ``max_width``
+    variables are examined (the clause count doubles per variable).
+    """
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    for idx, clause in enumerate(clauses):
+        variables = tuple(sorted({lit_var(l) for l in clause}))
+        if len(variables) != len(clause):
+            continue  # duplicate variables: not an XOR shard
+        if 2 <= len(variables) <= max_width:
+            groups.setdefault(variables, []).append(idx)
+
+    xors: List[Tuple[List[int], int]] = []
+    used: List[int] = []
+    for variables, idxs in groups.items():
+        width = len(variables)
+        need = 1 << (width - 1)
+        if len(idxs) < need:
+            continue
+        var_pos = {v: i for i, v in enumerate(variables)}
+        # Bucket the clauses by their sign-parity.
+        by_parity: Dict[int, Set[int]] = {0: set(), 1: set()}
+        idx_by_pattern: Dict[int, int] = {}
+        for idx in idxs:
+            pattern = 0
+            for l in clauses[idx]:
+                if lit_sign(l):
+                    pattern |= 1 << var_pos[lit_var(l)]
+            parity = bin(pattern).count("1") & 1
+            by_parity[parity].add(pattern)
+            idx_by_pattern[pattern] = idx
+        for parity in (0, 1):
+            if len(by_parity[parity]) == need:
+                # Clauses with sign-parity p forbid assignments with
+                # value-parity p, so the surviving assignments have
+                # parity 1 - p: the XOR's right-hand side.
+                rhs = parity ^ 1
+                xors.append((list(variables), rhs))
+                used.extend(
+                    idx_by_pattern[pat] for pat in by_parity[parity]
+                )
+                break
+    return xors, sorted(set(used))
+
+
+def formula_with_recovered_xors(
+    formula: CnfFormula, max_width: int = 6, drop_used: bool = False
+) -> CnfFormula:
+    """A copy of the formula with detected XORs attached natively.
+
+    With ``drop_used`` the clause shards that formed each recovered XOR
+    are removed (they are implied by the native constraint).
+    """
+    xors, used = recover_xors(formula.clauses, max_width)
+    out = CnfFormula(formula.n_vars)
+    used_set = set(used) if drop_used else set()
+    for idx, clause in enumerate(formula.clauses):
+        if idx not in used_set:
+            out.add_clause(list(clause))
+    for variables, rhs in formula.xors:
+        out.add_xor(list(variables), rhs)
+    for variables, rhs in xors:
+        out.add_xor(variables, rhs)
+    return out

@@ -1,0 +1,6 @@
+"""Synthetic CNF suite standing in for the SAT Competition 2017 set."""
+
+from . import generators
+from .suite import SuiteInstance, build_suite, hard_subset
+
+__all__ = ["generators", "SuiteInstance", "build_suite", "hard_subset"]

@@ -1,0 +1,109 @@
+"""Tests for small-scale AES SR(n,r,c,e) and its ANF encodings."""
+
+import pytest
+
+from repro.ciphers.aes_small import SmallScaleAES, SrEncoder, generate_instance
+from repro.core import Bosphorus, Config, Solution
+
+
+def test_fips197_sbox_values():
+    aes = SmallScaleAES(1, 4, 4, 8)
+    assert aes.sbox(0x00) == 0x63
+    assert aes.sbox(0x53) == 0xED
+    assert aes.sbox(0x01) == 0x7C
+
+
+def test_fips197_full_encryption():
+    """SR(10,4,4,8) without the final MixColumns is AES-128 (FIPS-197 C.1)."""
+    aes = SmallScaleAES(10, 4, 4, 8, final_mix=False)
+    pt = list(bytes.fromhex("00112233445566778899aabbccddeeff"))
+    key = list(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+    ct = bytes(aes.encrypt(pt, key)).hex()
+    assert ct == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_sbox_is_bijective_both_fields():
+    for e in (4, 8):
+        aes = SmallScaleAES(1, 2, 2, e)
+        assert sorted(aes.sbox_table) == list(range(1 << e))
+
+
+def test_shift_rows_permutation():
+    aes = SmallScaleAES(1, 2, 2, 4)
+    state = [0, 1, 2, 3]  # columns (0,1) and (2,3)
+    shifted = aes.shift_rows(state)
+    # Row 0 unchanged, row 1 rotates: [s00, s11, s10, s01].
+    assert shifted == [0, 3, 2, 1]
+
+
+def test_mix_columns_invertible_r2():
+    aes = SmallScaleAES(1, 2, 2, 4)
+    seen = set()
+    for a in range(16):
+        for b in range(16):
+            mixed = tuple(aes.mix_columns([a, b, 0, 0])[:2])
+            seen.add(mixed)
+    assert len(seen) == 256
+
+
+def test_key_schedule_shape():
+    aes = SmallScaleAES(2, 2, 2, 4)
+    keys = aes.key_schedule([1, 2, 3, 4])
+    assert len(keys) == 3
+    assert all(len(k) == 4 for k in keys)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        SmallScaleAES(1, 3, 2, 4)
+    with pytest.raises(ValueError):
+        SmallScaleAES(1, 2, 2, 5)
+    with pytest.raises(ValueError):
+        SrEncoder(SmallScaleAES(1, 2, 2, 4), "bogus")
+
+
+@pytest.mark.parametrize("encoding", ["quadratic", "explicit"])
+@pytest.mark.parametrize("r,c,e", [(1, 1, 4), (2, 2, 4)])
+def test_instance_witness_satisfies_equations(encoding, r, c, e):
+    inst = generate_instance(1, r, c, e, seed=11, sbox_encoding=encoding)
+    assert Solution(inst.witness).satisfies(inst.polynomials)
+
+
+def test_quadratic_encoding_degree_bounded():
+    inst = generate_instance(1, 2, 2, 4, seed=1, sbox_encoding="quadratic")
+    assert max(p.degree() for p in inst.polynomials) <= 2
+
+
+def test_explicit_encoding_degree_e_minus_1():
+    inst = generate_instance(1, 2, 2, 4, seed=1, sbox_encoding="explicit")
+    assert max(p.degree() for p in inst.polynomials) <= 3
+
+
+def test_sr_1448_shape():
+    """The paper's SR-[1,4,4,8] encodes without error at full size."""
+    inst = generate_instance(1, 4, 4, 8, seed=0)
+    assert inst.n_vars >= 256  # 128 key bits + S-box inversions
+    assert len(inst.polynomials) >= 384
+    assert Solution(inst.witness).satisfies(inst.polynomials)
+
+
+def test_key_recovery_via_bosphorus():
+    """Solving a tiny SR instance recovers the planted key."""
+    inst = generate_instance(1, 1, 1, 4, seed=21)
+    cfg = Config(xl_sample_bits=10, elimlin_sample_bits=10,
+                 sat_conflict_start=2000, max_iterations=6)
+    result = Bosphorus(cfg).preprocess_anf(inst.ring, inst.polynomials)
+    assert result.status == "sat"
+    e = 4
+    recovered = 0
+    for i, var in enumerate(inst.key_vars):
+        recovered |= result.solution[var] << i
+    expected_bits = []
+    for elem in inst.key:
+        expected_bits.extend((elem >> b) & 1 for b in range(e))
+    expected = 0
+    for i, b in enumerate(expected_bits):
+        expected |= b << i
+    # The key-recovery instance may admit several keys for one (P, C)
+    # pair; the found solution must at least satisfy all equations.
+    assert result.solution.satisfies(inst.polynomials)

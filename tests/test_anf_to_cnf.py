@@ -1,0 +1,177 @@
+"""Tests for ANF → CNF conversion (paper section III-C, Fig. 2/3)."""
+
+import itertools
+
+import pytest
+
+from repro.anf import AnfSystem, Poly, Ring, parse_system
+from repro.core import AnfToCnf, Config
+from repro.sat import Solver, mk_lit
+from repro.sat.types import TRUE
+
+
+def polys_of(text):
+    _, polys = parse_system(text)
+    return polys
+
+
+def cnf_models(formula, n_vars):
+    """All models of a CNF restricted to the first n_vars variables."""
+    out = set()
+    for bits in itertools.product([0, 1], repeat=formula.n_vars):
+        ok = all(
+            any(bits[l >> 1] ^ (l & 1) for l in clause)
+            for clause in formula.clauses
+        )
+        if ok:
+            for variables, rhs in formula.xors:
+                if sum(bits[v] for v in variables) % 2 != rhs:
+                    ok = False
+                    break
+        if ok:
+            out.add(bits[:n_vars])
+    return out
+
+
+def anf_models(polys, n_vars):
+    out = set()
+    for bits in itertools.product([0, 1], repeat=n_vars):
+        if all(p.evaluate(list(bits)) == 0 for p in polys):
+            out.add(bits)
+    return out
+
+
+def test_fig2_karnaugh_conversion_6_clauses():
+    polys = polys_of("x1*x3 + x1 + x2 + x4 + 1")
+    conv = AnfToCnf(Config(karnaugh_limit=8)).convert_polynomials(polys)
+    assert len(conv.formula.clauses) == 6
+    assert conv.stats.karnaugh_polys == 1
+    assert conv.stats.monomial_vars == 0  # no auxiliaries on this path
+
+
+def test_fig2_tseitin_conversion_11_clauses():
+    polys = polys_of("x1*x3 + x1 + x2 + x4 + 1")
+    conv = AnfToCnf(Config(karnaugh_limit=2)).convert_polynomials(polys)
+    # 3 AND clauses for x5 = x1x3 plus 2^3 = 8 XOR clauses.
+    assert len(conv.formula.clauses) == 11
+    assert conv.stats.and_clauses == 3
+    assert conv.stats.tseitin_clauses == 8
+    assert conv.stats.monomial_vars == 1
+
+
+def test_both_paths_preserve_solutions():
+    polys = polys_of("x1*x3 + x1 + x2 + x4 + 1")
+    want = anf_models(polys, 5)
+    for k in (2, 8):
+        conv = AnfToCnf(Config(karnaugh_limit=k)).convert_polynomials(polys, n_vars=5)
+        got = cnf_models(conv.formula, 5)
+        assert got == want, "K={} changed the solution set".format(k)
+
+
+def test_xor_cutting_length():
+    # 7 linear terms with L=3 forces cutting.
+    polys = polys_of("x1 + x2 + x3 + x4 + x5 + x6 + x7")
+    conv = AnfToCnf(Config(xor_cut_len=3, karnaugh_limit=2)).convert_polynomials(
+        polys, n_vars=8
+    )
+    assert conv.stats.cut_vars >= 2
+    want = anf_models(polys, 8)
+    got = cnf_models(conv.formula, 8)
+    assert got == want
+
+
+def test_cut_variables_tracked_and_not_monomials():
+    polys = polys_of("x1 + x2 + x3 + x4 + x5 + x6 + x7")
+    conv = AnfToCnf(Config(xor_cut_len=3, karnaugh_limit=2)).convert_polynomials(polys)
+    for aux in conv.cut_vars:
+        assert conv.monomial_of_var[aux] is None
+
+
+def test_monomial_map_bidirectional():
+    polys = polys_of("x1*x2 + x3*x4 + x5 + x6 + x7 + x8 + x9 + x10 + x11")
+    conv = AnfToCnf(Config(karnaugh_limit=3, xor_cut_len=20)).convert_polynomials(polys)
+    for m, v in conv.var_of_monomial.items():
+        assert conv.monomial_of_var[v] == m
+
+
+def test_unit_clauses_from_state():
+    ring, polys = parse_system("x1 + 1\nx2")
+    system = AnfSystem(ring, polys)
+    from repro.core import propagate
+    propagate(system)
+    conv = AnfToCnf(Config()).convert(system)
+    assert [mk_lit(1)] in conv.formula.clauses
+    assert [mk_lit(2, True)] in conv.formula.clauses
+
+
+def test_equivalence_clauses_from_state():
+    ring, polys = parse_system("x1 + x2 + 1")
+    system = AnfSystem(ring, polys)
+    from repro.core import propagate
+    propagate(system)
+    conv = AnfToCnf(Config()).convert(system)
+    # x1 = ¬x2 needs the two clauses (x1∨x2) and (¬x1∨¬x2).
+    clause_sets = {frozenset(c) for c in conv.formula.clauses}
+    assert frozenset([mk_lit(1), mk_lit(2)]) in clause_sets
+    assert frozenset([mk_lit(1, True), mk_lit(2, True)]) in clause_sets
+
+
+def test_contradiction_yields_empty_clause():
+    conv = AnfToCnf(Config()).convert_polynomials([Poly.one()])
+    assert [] in conv.formula.clauses
+
+
+def test_emit_xor_clauses_native():
+    polys = polys_of("x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + 1")
+    cfg = Config(karnaugh_limit=2, xor_cut_len=30, emit_xor_clauses=True)
+    conv = AnfToCnf(cfg).convert_polynomials(polys, n_vars=10)
+    assert conv.formula.xors, "expected native xor output"
+    want = anf_models(polys, 10)
+    got = cnf_models(conv.formula, 10)
+    assert got == want
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_systems_equisatisfiable(seed):
+    """Conversion preserves the projected solution set on random ANFs."""
+    import random
+
+    rng = random.Random(seed)
+    n = 5
+    polys = []
+    for _ in range(rng.randint(1, 4)):
+        monomials = []
+        for _ in range(rng.randint(1, 5)):
+            size = rng.randint(0, 2)
+            monomials.append(tuple(sorted(rng.sample(range(n), size))))
+        p = Poly(monomials)
+        if not p.is_constant():
+            polys.append(p)
+    if not polys:
+        return
+    want = anf_models(polys, n)
+    for k in (2, 8):
+        conv = AnfToCnf(Config(karnaugh_limit=k, xor_cut_len=3)).convert_polynomials(
+            polys, n_vars=n
+        )
+        got = cnf_models(conv.formula, n)
+        assert got == want
+
+
+def test_solver_agrees_on_converted_system():
+    ring, polys = parse_system("""
+x1*x2 + x3 + x4 + 1
+x1*x2*x3 + x1 + x3 + 1
+x1*x3 + x3*x4*x5 + x3
+x2*x3 + x3*x5 + 1
+x2*x3 + x5 + 1
+""")
+    conv = AnfToCnf(Config()).convert_polynomials(polys, n_vars=6)
+    solver = Solver()
+    solver.ensure_vars(conv.formula.n_vars)
+    for c in conv.formula.clauses:
+        solver.add_clause(c)
+    assert solver.solve() is True
+    model = [1 if v == TRUE else 0 for v in solver.model[:6]]
+    # Unique solution of the paper's system: x1..x4 = 1, x5 = 0.
+    assert model[1:6] == [1, 1, 1, 1, 0]

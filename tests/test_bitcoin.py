@@ -1,0 +1,90 @@
+"""Tests for the weakened Bitcoin nonce-finding instances (Fig. 5)."""
+
+import random
+
+import pytest
+
+from repro.ciphers import bitcoin
+from repro.ciphers.sha256 import H0, compress
+from repro.core import Bosphorus, Config, Solution
+
+
+def test_block_layout_matches_fig5():
+    prefix = [1] * 415
+    words = bitcoin.build_block_words(prefix, 0)
+    assert len(words) == 16
+    # Bits 415..446 are the nonce, bit 447 the padding '1', and the last
+    # 64 bits encode |M| = 448.
+    assert words[13] & 1 == 1  # the padding '1' ends word 13
+    assert words[14] == 0  # high half of the length field
+    assert words[15] == 448
+
+
+def test_nonce_occupies_words_12_and_13():
+    prefix = [0] * 415
+    w_zero = bitcoin.build_block_words(prefix, 0)
+    w_full = bitcoin.build_block_words(prefix, 0xFFFFFFFF)
+    diff = [i for i in range(16) if w_zero[i] != w_full[i]]
+    assert diff == [12, 13]
+
+
+def test_hash_leading_zero_bits():
+    prefix = [0] * 415
+    words = bitcoin.build_block_words(prefix, 12345)
+    k = bitcoin.hash_leading_zero_bits(words, rounds=64)
+    digest = compress(words, H0, 64)
+    assert (digest[0] >> (31 - k)) & 1 == 1 or k >= 32
+
+
+def test_find_solution_nonce_succeeds_for_small_k():
+    rng = random.Random(5)
+    prefix = [rng.getrandbits(1) for _ in range(415)]
+    nonce = bitcoin.find_solution_nonce(prefix, 4, 16, rng, max_tries=4096)
+    assert nonce is not None
+    words = bitcoin.build_block_words(prefix, nonce)
+    assert bitcoin.hash_leading_zero_bits(words, 16) >= 4
+
+
+def test_rounds_below_16_rejected():
+    with pytest.raises(ValueError):
+        bitcoin.encode_instance([0] * 415, 4, 8, 0)
+
+
+def test_instance_witness_satisfies_equations():
+    inst = bitcoin.generate_instance(k=4, rounds=16, seed=3)
+    assert Solution(inst.witness).satisfies(inst.polynomials)
+    assert inst.n_vars > 32  # nonce + SHA circuit variables
+
+
+def test_nonce_vars_are_first_32():
+    inst = bitcoin.generate_instance(k=4, rounds=16, seed=3)
+    assert inst.nonce_vars == list(range(32))
+
+
+def test_nonce_from_assignment_roundtrip():
+    inst = bitcoin.generate_instance(k=4, rounds=16, seed=3)
+    assert inst.nonce_from_assignment(inst.witness) == inst.solution_nonce
+
+
+def test_solution_nonce_actually_works():
+    inst = bitcoin.generate_instance(k=5, rounds=16, seed=1)
+    words = bitcoin.build_block_words(inst.prefix_bits, inst.solution_nonce)
+    assert bitcoin.hash_leading_zero_bits(words, inst.rounds) >= inst.k
+
+
+def test_equations_degree_at_most_two():
+    inst = bitcoin.generate_instance(k=4, rounds=16, seed=2)
+    assert max(p.degree() for p in inst.polynomials) <= 2
+
+
+@pytest.mark.slow
+def test_bosphorus_finds_valid_nonce():
+    """End-to-end: solve a small instance and verify the mined nonce."""
+    inst = bitcoin.generate_instance(k=4, rounds=16, seed=8)
+    cfg = Config(use_xl=False, use_elimlin=False,
+                 sat_conflict_start=200000, max_iterations=2)
+    result = Bosphorus(cfg).preprocess_anf(inst.ring, inst.polynomials)
+    assert result.status == "sat"
+    nonce = inst.nonce_from_assignment(result.solution.values)
+    words = bitcoin.build_block_words(inst.prefix_bits, nonce)
+    assert bitcoin.hash_leading_zero_bits(words, inst.rounds) >= inst.k

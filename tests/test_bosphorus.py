@@ -1,0 +1,189 @@
+"""End-to-end tests for the Bosphorus workflow (paper sections II-E, III)."""
+
+import itertools
+
+import pytest
+
+from repro.anf import Poly, Ring, parse_system
+from repro.core import (
+    Bosphorus,
+    Config,
+    preprocess_anf,
+    preprocess_cnf,
+    STATUS_SAT,
+    STATUS_UNSAT,
+)
+from repro.sat import CnfFormula, Solver, mk_lit
+from repro.sat.types import TRUE
+
+PAPER_EXAMPLE = """
+x1*x2 + x3 + x4 + 1
+x1*x2*x3 + x1 + x3 + 1
+x1*x3 + x3*x4*x5 + x3
+x2*x3 + x3*x5 + 1
+x2*x3 + x5 + 1
+"""
+
+
+def test_paper_example_solves_to_unique_solution():
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    result = Bosphorus().preprocess_anf(ring, polys)
+    assert result.status == STATUS_SAT
+    assert result.solution is not None
+    assert result.solution.values[1:6] == [1, 1, 1, 1, 0]
+
+
+def test_paper_example_processed_anf_is_system_2():
+    """The processed ANF must be the paper's system (2): five units."""
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    cfg = Config(stop_on_solution=False)
+    result = Bosphorus(cfg).preprocess_anf(ring, polys)
+    processed = {p.to_string() for p in result.processed_anf}
+    assert {"x1 + 1", "x2 + 1", "x3 + 1", "x4 + 1", "x5"} <= processed
+
+
+def test_solution_satisfies_original_system():
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    result = Bosphorus().preprocess_anf(ring, polys)
+    assert result.solution.satisfies(polys)
+
+
+def test_unsat_input_detected():
+    ring, polys = parse_system("x1\nx1 + 1")
+    result = Bosphorus().preprocess_anf(ring, polys)
+    assert result.status == STATUS_UNSAT
+
+
+def test_unsat_through_learning():
+    # x1+x2=1, x2+x3=1, x1+x3=1 is an odd parity cycle: UNSAT via GJE.
+    ring, polys = parse_system("x1 + x2 + 1\nx2 + x3 + 1\nx1 + x3 + 1")
+    result = Bosphorus().preprocess_anf(ring, polys)
+    assert result.status == STATUS_UNSAT
+
+
+def test_trivially_empty_system_is_fixed_point():
+    result = Bosphorus().preprocess_anf(Ring(3), [])
+    assert result.status != STATUS_UNSAT
+    assert result.iterations <= 2
+
+
+def test_facts_have_sources():
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    result = Bosphorus(Config(stop_on_solution=False)).preprocess_anf(ring, polys)
+    summary = result.facts.summary()
+    assert sum(summary.values()) == len(result.facts)
+    assert "xl" in summary  # XL learns facts on the paper example
+
+
+def test_all_facts_sound_on_paper_example():
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    result = Bosphorus(Config(stop_on_solution=False)).preprocess_anf(ring, polys)
+    # Unique solution: x1..x4=1, x5=0.
+    solution = [0, 1, 1, 1, 1, 0]
+    for fact in result.facts.polynomials():
+        padded = solution + [0] * 10
+        assert fact.evaluate(padded) == 0, fact
+
+
+def test_techniques_can_be_disabled():
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    cfg = Config(use_xl=False, use_elimlin=False)
+    result = Bosphorus(cfg).preprocess_anf(ring, polys)
+    assert result.status in (STATUS_SAT, "unknown")
+
+
+def test_groebner_technique_optional():
+    ring, polys = parse_system("x1*x2 + 1\nx2 + x3")
+    cfg = Config(use_groebner=True, use_sat=False, use_xl=False, use_elimlin=False)
+    result = Bosphorus(cfg).preprocess_anf(ring, polys)
+    # Buchberger alone derives the units.
+    assert result.status != STATUS_UNSAT
+    assert result.system.state.value(1) == 1
+
+
+def test_output_cnf_solvable_to_same_answer():
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    result = Bosphorus(Config(stop_on_solution=False)).preprocess_anf(ring, polys)
+    solver = Solver()
+    solver.ensure_vars(result.cnf.n_vars)
+    for clause in result.cnf.clauses:
+        solver.add_clause(clause)
+    assert solver.solve() is True
+    model = [1 if v == TRUE else 0 for v in solver.model]
+    assert model[1:6] == [1, 1, 1, 1, 0]
+
+
+def test_max_iterations_respected():
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    result = Bosphorus(Config(max_iterations=1, stop_on_solution=False)).preprocess_anf(
+        ring, polys
+    )
+    assert result.iterations == 1
+
+
+# -- CNF preprocessor mode (paper section III-D) ---------------------------------
+
+
+def _xor_cnf(formula, variables, rhs):
+    for pattern in range(1 << len(variables)):
+        if bin(pattern).count("1") & 1 == rhs:
+            continue
+        formula.add_clause(
+            [mk_lit(variables[i], bool(pattern >> i & 1)) for i in range(len(variables))]
+        )
+
+
+def test_cnf_preprocessing_detects_parity_unsat():
+    """An odd XOR cycle is UNSAT; Bosphorus finds it algebraically."""
+    formula = CnfFormula(3)
+    _xor_cnf(formula, [0, 1], 1)
+    _xor_cnf(formula, [1, 2], 1)
+    _xor_cnf(formula, [0, 2], 1)
+    result = preprocess_cnf(formula)
+    assert result.status == STATUS_UNSAT
+    assert result.augmented_cnf is not None
+    assert [] in result.augmented_cnf.clauses
+
+
+def test_cnf_preprocessing_sat_instance():
+    formula = CnfFormula(3)
+    formula.add_clause([mk_lit(0)])
+    formula.add_clause([mk_lit(0, True), mk_lit(1)])
+    formula.add_clause([mk_lit(1, True), mk_lit(2, True)])
+    result = preprocess_cnf(formula)
+    assert result.status in (STATUS_SAT, "unknown")
+    if result.solution is not None:
+        assert len(result.solution.values) == 3
+        bits = result.solution.values
+        for clause in formula.clauses:
+            assert any(bits[l >> 1] ^ (l & 1) for l in clause)
+
+
+def test_augmented_cnf_contains_original_clauses():
+    formula = CnfFormula(3)
+    formula.add_clause([mk_lit(0), mk_lit(1)])
+    result = preprocess_cnf(formula)
+    if result.status == STATUS_UNSAT:
+        return
+    assert [mk_lit(0), mk_lit(1)] in result.augmented_cnf.clauses
+
+
+def test_augmented_cnf_equisatisfiable():
+    formula = CnfFormula(4)
+    _xor_cnf(formula, [0, 1, 2], 1)
+    formula.add_clause([mk_lit(3)])
+    result = preprocess_cnf(formula)
+    solver = Solver()
+    aug = result.augmented_cnf
+    solver.ensure_vars(aug.n_vars)
+    ok = True
+    for c in aug.clauses:
+        ok = solver.add_clause(c) and ok
+    verdict = solver.solve() if ok else False
+    assert verdict is True  # the original formula is satisfiable
+
+
+def test_convenience_wrappers():
+    ring, polys = parse_system("x1 + 1")
+    result = preprocess_anf(ring, polys)
+    assert result.status != STATUS_UNSAT

@@ -1,0 +1,110 @@
+"""Tests for the bosphorus-py command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+
+PAPER_EXAMPLE = """\
+x1*x2 + x3 + x4 + 1
+x1*x2*x3 + x1 + x3 + 1
+x1*x3 + x3*x4*x5 + x3
+x2*x3 + x3*x5 + 1
+x2*x3 + x5 + 1
+"""
+
+
+@pytest.fixture
+def anf_file(tmp_path):
+    path = tmp_path / "problem.anf"
+    path.write_text(PAPER_EXAMPLE)
+    return str(path)
+
+
+@pytest.fixture
+def cnf_file(tmp_path):
+    path = tmp_path / "problem.cnf"
+    path.write_text("p cnf 3 3\n1 2 0\n-1 2 0\n-2 3 0\n")
+    return str(path)
+
+
+def test_requires_input(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_anf_solve_paper_example(anf_file, capsys):
+    code = main(["--anfread", anf_file, "--solve"])
+    out = capsys.readouterr().out
+    assert code == 10
+    assert "s SATISFIABLE" in out
+    assert "v " in out
+    # The unique solution: x1..x4 true (DIMACS vars 2..5), x5 false (var 6).
+    model_line = [l for l in out.splitlines() if l.startswith("v ")][0]
+    lits = set(model_line.split()[1:-1])
+    assert {"2", "3", "4", "5", "-6"} <= lits
+
+
+def test_unsat_detection(tmp_path, capsys):
+    path = tmp_path / "unsat.anf"
+    path.write_text("x1\nx1 + 1\n")
+    code = main(["--anfread", str(path)])
+    assert code == 20
+    assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+
+def test_anfwrite_output(anf_file, tmp_path, capsys):
+    out_path = tmp_path / "out.anf"
+    main(["--anfread", anf_file, "--anfwrite", str(out_path)])
+    text = out_path.read_text()
+    assert "x1 + 1" in text  # the processed ANF contains the unit facts
+
+
+def test_cnfwrite_output(anf_file, tmp_path, capsys):
+    out_path = tmp_path / "out.cnf"
+    main(["--anfread", anf_file, "--cnfwrite", str(out_path)])
+    assert out_path.read_text().splitlines()[1].startswith("p cnf")
+
+
+def test_cnf_preprocessing_roundtrip(cnf_file, tmp_path, capsys):
+    out_path = tmp_path / "processed.cnf"
+    code = main(["--cnfread", cnf_file, "--cnfwrite", str(out_path), "--solve"])
+    out = capsys.readouterr().out
+    assert code in (0, 10)
+    assert out_path.exists()
+
+
+def test_parameter_flags_map_to_config():
+    parser = build_parser()
+    args = parser.parse_args([
+        "--anfread", "x.anf", "-m", "20", "--dm", "3", "--xldeg", "2",
+        "--karn", "6", "--cutnum", "4", "--clausecut", "7",
+        "--confl", "123", "--maxconfl", "456", "--maxiters", "2",
+        "--no-elimlin", "--groebner", "--seed", "9",
+    ])
+    config = config_from_args(args)
+    assert config.xl_sample_bits == 20
+    assert config.xl_expand_allowance == 3
+    assert config.xl_degree == 2
+    assert config.karnaugh_limit == 6
+    assert config.xor_cut_len == 4
+    assert config.clause_cut_len == 7
+    assert config.sat_conflict_start == 123
+    assert config.sat_conflict_max == 456
+    assert config.max_iterations == 2
+    assert config.use_xl and not config.use_elimlin and config.use_sat
+    assert config.use_groebner
+    assert config.seed == 9
+
+
+def test_solver_personality_flag(anf_file, capsys):
+    for solver in ("minisat", "lingeling", "cms"):
+        code = main(["--anfread", anf_file, "--solve", "--solver", solver])
+        assert code == 10
+
+
+def test_quiet_mode(anf_file, capsys):
+    main(["--anfread", anf_file, "--verb", "0"])
+    out = capsys.readouterr().out
+    assert "c bosphorus-py" not in out

@@ -1,0 +1,80 @@
+"""Tests for DIMACS parsing/writing, including the CMS-style x-lines."""
+
+import io
+
+import pytest
+
+from repro.sat import (
+    CnfFormula,
+    DimacsError,
+    lit_from_dimacs,
+    lit_to_dimacs,
+    mk_lit,
+    parse_dimacs,
+    read_dimacs,
+    write_dimacs,
+)
+
+
+def test_lit_conversions_roundtrip():
+    for n in [1, -1, 5, -17]:
+        assert lit_to_dimacs(lit_from_dimacs(n)) == n
+    with pytest.raises(ValueError):
+        lit_from_dimacs(0)
+
+
+def test_parse_basic():
+    f = parse_dimacs("""c comment
+p cnf 3 2
+1 -2 0
+2 3 0
+""")
+    assert f.n_vars == 3
+    assert f.clauses == [[mk_lit(0), mk_lit(1, True)], [mk_lit(1), mk_lit(2)]]
+
+
+def test_parse_xor_lines():
+    f = parse_dimacs("p cnf 3 1\nx1 2 3 0\nx-1 2 0\n")
+    assert f.xors == [([0, 1, 2], 1), ([0, 1], 0)]
+
+
+def test_empty_clause():
+    f = parse_dimacs("p cnf 1 1\n0\n")
+    assert f.clauses == [[]]
+
+
+def test_bad_header_raises():
+    with pytest.raises(DimacsError):
+        parse_dimacs("p dnf 1 1\n1 0\n")
+
+
+def test_missing_terminator_raises():
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 1 1\n1\n")
+
+
+def test_garbage_raises():
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 1 1\n1 z 0\n")
+
+
+def test_write_read_roundtrip():
+    f = CnfFormula(4)
+    f.add_clause([mk_lit(0), mk_lit(3, True)])
+    f.add_clause([mk_lit(1)])
+    f.add_xor([0, 1, 2], 1)
+    f.add_xor([2, 3], 0)
+    buf = io.StringIO()
+    write_dimacs(buf, f, comments=["test"])
+    g = read_dimacs(io.StringIO(buf.getvalue()))
+    assert g.n_vars == 4
+    assert g.clauses == f.clauses
+    assert g.xors == f.xors
+
+
+def test_n_vars_grows_with_clauses():
+    f = CnfFormula()
+    f.add_clause([mk_lit(9)])
+    assert f.n_vars == 10
+    f.add_xor([12], 1)
+    assert f.n_vars == 13

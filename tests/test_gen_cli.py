@@ -1,0 +1,79 @@
+"""Tests for the instance-generator CLI (python -m repro.gen)."""
+
+import pytest
+
+from repro.anf import parse_system
+from repro.core import Solution
+from repro.gen import main
+from repro.sat import parse_dimacs
+
+
+def test_simon_generation_roundtrips(tmp_path):
+    out = tmp_path / "simon.anf"
+    code = main(["simon", "--plaintexts", "1", "--rounds", "3",
+                 "--seed", "3", "--out", str(out)])
+    assert code == 0
+    ring, polys = parse_system(out.read_text())
+    assert polys
+    # The generated system must be satisfiable by the planted witness.
+    from repro.ciphers import simon
+    inst = simon.generate_instance(1, 3, seed=3)
+    assert Solution(inst.witness).satisfies(polys)
+
+
+def test_sr_generation(tmp_path):
+    out = tmp_path / "sr.anf"
+    code = main(["sr", "--rounds", "1", "-r", "1", "-c", "2", "-e", "4",
+                 "--seed", "1", "--out", str(out)])
+    assert code == 0
+    ring, polys = parse_system(out.read_text())
+    assert all(p.degree() <= 2 for p in polys)
+
+
+def test_speck_generation(tmp_path):
+    out = tmp_path / "speck.anf"
+    assert main(["speck", "--plaintexts", "1", "--rounds", "2",
+                 "--out", str(out)]) == 0
+    _, polys = parse_system(out.read_text())
+    assert polys
+
+
+def test_bitcoin_generation(tmp_path):
+    out = tmp_path / "btc.anf"
+    assert main(["bitcoin", "--k", "4", "--rounds", "16", "--seed", "2",
+                 "--out", str(out)]) == 0
+    _, polys = parse_system(out.read_text())
+    assert len(polys) > 100
+
+
+@pytest.mark.parametrize("family,size", [
+    ("random3sat", 20),
+    ("planted3sat", 20),
+    ("pigeonhole", 4),
+    ("tseitin", 10),
+    ("xorchain", 15),
+])
+def test_satcomp_generation(tmp_path, family, size):
+    out = tmp_path / "{}.cnf".format(family)
+    code = main(["satcomp", "--family", family, "--size", str(size),
+                 "--out", str(out)])
+    assert code == 0
+    formula = parse_dimacs(out.read_text())
+    assert formula.clauses
+
+
+def test_generated_anf_feeds_bosphorus_cli(tmp_path):
+    """End-to-end: generate an instance, then solve it with the main CLI."""
+    from repro.cli import main as bosphorus_main
+
+    inst_path = tmp_path / "inst.anf"
+    assert main(["simon", "--plaintexts", "1", "--rounds", "2",
+                 "--seed", "8", "--out", str(inst_path)]) == 0
+    code = bosphorus_main(["--anfread", str(inst_path), "--solve",
+                           "--verb", "0"])
+    assert code == 10  # satisfiable
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(SystemExit):
+        main(["des", "--out", "x.anf"])

@@ -1,0 +1,79 @@
+"""Tests for the GF(2) matrix extensions (transpose, product, kernel)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import GF2Matrix
+
+dense = st.lists(
+    st.lists(st.integers(0, 1), min_size=5, max_size=5),
+    min_size=1,
+    max_size=6,
+)
+
+
+def test_transpose_known():
+    m = GF2Matrix.from_rows([[0, 2], [1]], 3)
+    t = m.transpose()
+    assert t.n_rows == 3 and t.n_cols == 2
+    assert t.row_cols(0) == [0]
+    assert t.row_cols(1) == [1]
+    assert t.row_cols(2) == [0]
+
+
+def test_multiply_identity():
+    m = GF2Matrix.from_rows([[0, 1], [2]], 3)
+    result = m.multiply(GF2Matrix.identity(3))
+    assert result.to_dense().tolist() == m.to_dense().tolist()
+
+
+def test_multiply_dimension_mismatch():
+    with pytest.raises(ValueError):
+        GF2Matrix(2, 3).multiply(GF2Matrix(2, 3))
+
+
+@settings(max_examples=40)
+@given(dense, dense)
+def test_multiply_matches_numpy(a_rows, b_rows):
+    a = GF2Matrix.from_dense(a_rows)
+    # Shape b: a.n_cols x 4.
+    b_np = (np.arange(a.n_cols * 4).reshape(a.n_cols, 4) % 2).astype(np.uint8)
+    b = GF2Matrix.from_dense(b_np)
+    product = a.multiply(b)
+    expected = (np.array(a_rows, dtype=np.uint8) @ b_np) % 2
+    assert product.to_dense().tolist() == expected.tolist()
+
+
+@settings(max_examples=60)
+@given(dense)
+def test_transpose_involution(rows):
+    m = GF2Matrix.from_dense(rows)
+    assert m.transpose().transpose().to_dense().tolist() == m.to_dense().tolist()
+
+
+@settings(max_examples=60)
+@given(dense)
+def test_kernel_vectors_annihilate(rows):
+    m = GF2Matrix.from_dense(rows)
+    a = np.array(rows, dtype=np.uint8)
+    basis = m.kernel_basis()
+    for vec in basis:
+        prod = (a @ np.array(vec, dtype=np.uint8)) % 2
+        assert not prod.any()
+
+
+@settings(max_examples=60)
+@given(dense)
+def test_kernel_dimension_rank_nullity(rows):
+    m = GF2Matrix.from_dense(rows)
+    assert len(m.kernel_basis()) == m.n_cols - m.rank()
+
+
+def test_kernel_of_identity_is_trivial():
+    assert GF2Matrix.identity(4).kernel_basis() == []
+
+
+def test_kernel_of_zero_is_full():
+    assert len(GF2Matrix(3, 4).kernel_basis()) == 4

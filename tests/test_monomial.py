@@ -1,0 +1,89 @@
+"""Unit tests for repro.anf.monomial."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.anf import monomial as mono
+
+var_sets = st.lists(st.integers(0, 30), max_size=8)
+
+
+def test_make_sorts_and_dedupes():
+    assert mono.make([3, 1, 3]) == (1, 3)
+    assert mono.make([]) == ()
+
+
+def test_one_is_empty():
+    assert mono.ONE == ()
+    assert mono.degree(mono.ONE) == 0
+
+
+def test_degree():
+    assert mono.degree((1, 2, 5)) == 3
+
+
+def test_mul_merges():
+    assert mono.mul((1, 2), (2, 3)) == (1, 2, 3)
+    assert mono.mul((), (4,)) == (4,)
+    assert mono.mul((4,), ()) == (4,)
+
+
+def test_mul_idempotent_on_same_variable():
+    # x * x = x in the Boolean ring.
+    assert mono.mul((7,), (7,)) == (7,)
+
+
+def test_contains():
+    assert mono.contains((1, 2), 2)
+    assert not mono.contains((1, 2), 3)
+
+
+def test_divides():
+    assert mono.divides((1,), (1, 2))
+    assert mono.divides((), (1, 2))
+    assert not mono.divides((3,), (1, 2))
+    assert not mono.divides((1, 2, 3), (1, 2))
+
+
+def test_remove():
+    assert mono.remove((1, 2, 3), 2) == (1, 3)
+
+
+def test_lcm_is_union():
+    assert mono.lcm((1, 2), (2, 3)) == (1, 2, 3)
+
+
+def test_evaluate():
+    assert mono.evaluate((0, 2), {0: 1, 2: 1}) == 1
+    assert mono.evaluate((0, 2), {0: 1, 2: 0}) == 0
+    assert mono.evaluate((), {}) == 1
+
+
+def test_deglex_orders_by_degree_first():
+    assert mono.deglex_key((5,)) < mono.deglex_key((1, 2))
+    assert mono.deglex_key((1, 2)) < mono.deglex_key((1, 3))
+
+
+@given(var_sets, var_sets)
+def test_mul_commutative(a, b):
+    ma, mb = mono.make(a), mono.make(b)
+    assert mono.mul(ma, mb) == mono.mul(mb, ma)
+
+
+@given(var_sets, var_sets, var_sets)
+def test_mul_associative(a, b, c):
+    ma, mb, mc = mono.make(a), mono.make(b), mono.make(c)
+    assert mono.mul(mono.mul(ma, mb), mc) == mono.mul(ma, mono.mul(mb, mc))
+
+
+@given(var_sets)
+def test_mul_idempotent(a):
+    m = mono.make(a)
+    assert mono.mul(m, m) == m
+
+
+@given(var_sets, var_sets)
+def test_divides_iff_subset(a, b):
+    ma, mb = mono.make(a), mono.make(b)
+    assert mono.divides(ma, mb) == set(ma).issubset(set(mb))

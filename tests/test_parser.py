@@ -1,0 +1,89 @@
+"""Tests for the .anf text parser/writer."""
+
+import io
+
+import pytest
+
+from repro.anf import (
+    AnfParseError,
+    Poly,
+    Ring,
+    parse_polynomial,
+    parse_system,
+    read_anf,
+    write_anf,
+)
+
+
+def test_simple_polynomial():
+    ring = Ring()
+    p = parse_polynomial("x1*x2 + x3 + 1", ring)
+    assert p == Poly([(1, 2), (3,), ()])
+    assert ring.n_vars >= 4
+
+
+def test_constants():
+    ring = Ring()
+    assert parse_polynomial("0", ring).is_zero()
+    assert parse_polynomial("1", ring).is_one()
+    assert parse_polynomial("1 + 1", ring).is_zero()
+
+
+def test_parentheses():
+    ring = Ring()
+    p = parse_polynomial("(x1 + x2)*x3", ring)
+    assert p == Poly([(1, 3), (2, 3)])
+
+
+def test_named_variables():
+    ring = Ring()
+    p = parse_polynomial("a*b + a", ring)
+    assert ring.index_of("a") == 0
+    assert ring.index_of("b") == 1
+    assert p == Poly([(0, 1), (0,)])
+
+
+def test_duplicate_terms_cancel():
+    ring = Ring()
+    assert parse_polynomial("x1 + x1", ring).is_zero()
+
+
+def test_square_collapses():
+    ring = Ring()
+    assert parse_polynomial("x1*x1", ring) == Poly.variable(1)
+
+
+def test_bad_input_raises():
+    ring = Ring()
+    with pytest.raises(AnfParseError):
+        parse_polynomial("x1 +", ring)
+    with pytest.raises(AnfParseError):
+        parse_polynomial("x1 & x2", ring)
+    with pytest.raises(AnfParseError):
+        parse_polynomial("(x1", ring)
+    with pytest.raises(AnfParseError):
+        parse_polynomial("2*x1", ring)
+
+
+def test_parse_system_skips_comments():
+    ring, polys = parse_system("""
+# a comment
+c another comment
+x1 + 1
+
+x2*x3
+""")
+    assert len(polys) == 2
+
+
+def test_roundtrip_through_text():
+    ring, polys = parse_system("x1*x2 + x3 + 1\nx2 + x4")
+    buf = io.StringIO()
+    write_anf(buf, polys, ring)
+    ring2, polys2 = parse_system(buf.getvalue())
+    assert polys == polys2
+
+
+def test_read_anf_from_file_object():
+    ring, polys = read_anf(io.StringIO("x1 + x2\n"))
+    assert polys == [Poly([(1,), (2,)])]

@@ -1,0 +1,60 @@
+"""Tests for cactus plots and markdown reporting."""
+
+from repro.experiments import (
+    ScoreLine,
+    cactus_points,
+    markdown_table,
+    render_cactus,
+    solved_counts,
+)
+from repro.experiments.tables import TableBlock
+
+
+def test_cactus_points_sorted_cumulative():
+    runs = [(True, 3.0), (None, 10.0), (True, 1.0), (False, 2.0)]
+    pts = cactus_points(runs)
+    assert pts == [(1.0, 1), (2.0, 2), (3.0, 3)]
+
+
+def test_cactus_points_empty():
+    assert cactus_points([(None, 5.0)]) == []
+
+
+def test_render_cactus_contains_markers_and_legend():
+    curves = {
+        "plain": [(True, 1.0), (True, 4.0)],
+        "bosphorus": [(True, 0.5), (True, 1.5)],
+    }
+    plot = render_cactus(curves, width=30, height=6, timeout=5.0)
+    assert "o = bosphorus" in plot
+    assert "x = plain" in plot
+    assert "> time" in plot
+
+
+def test_render_cactus_handles_no_solves():
+    plot = render_cactus({"none": [(None, 5.0)]}, timeout=5.0)
+    assert "time" in plot
+
+
+def _block():
+    scores = {
+        ("minisat", False): ScoreLine(100.0, 1, 0),
+        ("minisat", True): ScoreLine(50.0, 2, 0),
+    }
+    return TableBlock("Demo", 2, scores, ("minisat",))
+
+
+def test_markdown_table_shape():
+    text = markdown_table([_block()])
+    lines = text.splitlines()
+    assert lines[0] == "| Problem | | MiniSat |"
+    assert "Demo (2)" in lines[2]
+    assert "| w |" in lines[3].replace("  ", " ")
+
+
+def test_markdown_table_empty():
+    assert markdown_table([]) == ""
+
+
+def test_solved_counts():
+    assert solved_counts(_block()) == {"minisat": (1, 2)}

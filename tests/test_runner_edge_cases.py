@@ -1,0 +1,87 @@
+"""Edge-case tests for the experiment runner."""
+
+import pytest
+
+from repro.anf import Poly, Ring, parse_system
+from repro.core.config import Config
+from repro.experiments import Problem, run_instance, run_final_solver
+from repro.sat import CnfFormula, mk_lit
+
+FAST = Config(xl_sample_bits=8, elimlin_sample_bits=8,
+              sat_conflict_start=500, sat_conflict_max=1000, max_iterations=2)
+
+
+def test_unsat_anf_input_without_bosphorus():
+    ring, polys = parse_system("x1\nx1 + 1")
+    problem = Problem.from_anf("unsat", ring, polys, expected=False)
+    res = run_instance(problem, "minisat", False, timeout_s=5,
+                       bosphorus_config=FAST)
+    assert res.verdict is False
+
+
+def test_unsat_anf_input_with_bosphorus():
+    ring, polys = parse_system("x1\nx1 + 1")
+    problem = Problem.from_anf("unsat", ring, polys, expected=False)
+    res = run_instance(problem, "minisat", True, timeout_s=5,
+                       bosphorus_config=FAST)
+    assert res.verdict is False
+    assert res.decided_by_bosphorus
+
+
+def test_timeout_returns_none_verdict():
+    # Pigeonhole too hard for a near-zero budget.
+    from repro.satcomp.generators import pigeonhole
+
+    problem = Problem.from_cnf("php9", pigeonhole(9), expected=False)
+    res = run_instance(problem, "minisat", False, timeout_s=0.05)
+    assert res.verdict is None
+    assert res.seconds >= 0.05
+
+
+def test_empty_formula_is_sat():
+    formula = CnfFormula(3)
+    verdict, model, _ = run_final_solver(formula, "minisat", timeout_s=5)
+    assert verdict is True
+    assert len(model) == 3
+
+
+def test_lingeling_model_extends_over_eliminated_vars():
+    # Variable 1 is BVE-eliminable; the reported model must still be total
+    # and satisfy the original clauses.
+    formula = CnfFormula(3)
+    formula.add_clause([mk_lit(0), mk_lit(1)])
+    formula.add_clause([mk_lit(1, True), mk_lit(2)])
+    verdict, model, _ = run_final_solver(formula, "lingeling", timeout_s=5)
+    assert verdict is True
+    for clause in formula.clauses:
+        assert any(model[l >> 1] ^ (l & 1) for l in clause)
+
+
+def test_cms_gets_recovered_xors_on_cnf():
+    # An UNSAT xor cycle written as plain CNF: cms should settle it
+    # without search thanks to recovery + GJE.
+    def xor_clauses(f, variables, rhs):
+        m = len(variables)
+        for pattern in range(1 << m):
+            if bin(pattern).count("1") & 1 == rhs:
+                continue
+            f.add_clause([
+                mk_lit(variables[i], negated=bool(pattern >> i & 1))
+                for i in range(m)
+            ])
+
+    formula = CnfFormula(3)
+    xor_clauses(formula, [0, 1], 1)
+    xor_clauses(formula, [1, 2], 1)
+    xor_clauses(formula, [0, 2], 1)
+    verdict, _, conflicts = run_final_solver(formula, "cms", timeout_s=5)
+    assert verdict is False
+    assert conflicts == 0
+
+
+def test_problem_constructors():
+    ring, polys = parse_system("x1 + 1")
+    p = Problem.from_anf("a", ring, polys)
+    assert p.kind == "anf" and p.expected is True
+    q = Problem.from_cnf("c", CnfFormula(1))
+    assert q.kind == "cnf" and q.expected is None

@@ -1,0 +1,227 @@
+"""Tests for the CDCL SAT solver, including brute-force cross-checks."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Solver,
+    SolverConfig,
+    lit_neg,
+    luby,
+    mk_lit,
+)
+from repro.sat.types import FALSE, TRUE, UNDEF
+
+
+def brute_force(n_vars, clauses):
+    """All-assignments reference check; returns a model or None."""
+    for bits in itertools.product([0, 1], repeat=n_vars):
+        ok = True
+        for clause in clauses:
+            if not any(bits[l >> 1] ^ (l & 1) for l in clause):
+                ok = False
+                break
+        if ok:
+            return list(bits)
+    return None
+
+
+def make_solver(clauses, n_vars=0):
+    solver = Solver()
+    solver.ensure_vars(n_vars)
+    ok = True
+    for c in clauses:
+        ok = solver.add_clause(c) and ok
+    return solver, ok
+
+
+# -- basics ---------------------------------------------------------------------
+
+
+def test_empty_formula_is_sat():
+    solver = Solver()
+    assert solver.solve() is SAT
+
+
+def test_single_unit():
+    solver, ok = make_solver([[mk_lit(0)]])
+    assert ok and solver.solve() is SAT
+    assert solver.model[0] == TRUE
+
+
+def test_contradictory_units():
+    solver, ok = make_solver([[mk_lit(0)], [mk_lit(0, True)]])
+    assert not ok or solver.solve() is UNSAT
+
+
+def test_tautology_dropped():
+    solver, ok = make_solver([[mk_lit(0), mk_lit(0, True)]])
+    assert ok
+    assert solver.solve() is SAT
+
+
+def test_duplicate_literals_collapse():
+    solver, ok = make_solver([[mk_lit(0), mk_lit(0)]])
+    assert solver.solve() is SAT
+    assert solver.model[0] == TRUE
+
+
+def test_simple_implication_chain():
+    # x0 ∧ (¬x0∨x1) ∧ (¬x1∨x2) forces all true.
+    clauses = [[mk_lit(0)], [mk_lit(0, True), mk_lit(1)], [mk_lit(1, True), mk_lit(2)]]
+    solver, _ = make_solver(clauses)
+    assert solver.solve() is SAT
+    assert solver.model == [TRUE, TRUE, TRUE]
+
+
+def test_unsat_triangle():
+    # (x0∨x1) (x0∨¬x1) (¬x0∨x1) (¬x0∨¬x1) is UNSAT.
+    clauses = [
+        [mk_lit(0), mk_lit(1)],
+        [mk_lit(0), mk_lit(1, True)],
+        [mk_lit(0, True), mk_lit(1)],
+        [mk_lit(0, True), mk_lit(1, True)],
+    ]
+    solver, _ = make_solver(clauses)
+    assert solver.solve() is UNSAT
+
+
+def test_luby_sequence():
+    assert [luby(i) for i in range(1, 16)] == [
+        1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8
+    ]
+
+
+# -- conflict budget (paper section II-D) ------------------------------------------
+
+
+def php_clauses(holes):
+    pigeons = holes + 1
+    clauses = []
+    for i in range(pigeons):
+        clauses.append([mk_lit(i * holes + j) for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append([mk_lit(i1 * holes + j, True), mk_lit(i2 * holes + j, True)])
+    return clauses
+
+
+def test_budget_returns_unknown_and_is_resumable():
+    clauses = php_clauses(7)
+    solver, _ = make_solver(clauses)
+    verdict = solver.solve(conflict_budget=10)
+    assert verdict is UNKNOWN
+    assert solver.decision_level == 0  # backtracked before returning
+    # Resume with a generous budget: PHP(8,7) is UNSAT.
+    assert solver.solve(conflict_budget=200000) is UNSAT
+
+
+def test_budget_exhaustion_keeps_level0_facts_valid():
+    clauses = php_clauses(6)
+    solver, _ = make_solver(clauses)
+    solver.solve(conflict_budget=50)
+    for lit in solver.level0_literals():
+        assert solver.value_lit(lit) == TRUE
+
+
+# -- learnt fact extraction ----------------------------------------------------------
+
+
+def test_level0_literals_from_units():
+    solver, _ = make_solver([[mk_lit(3)], [mk_lit(3, True), mk_lit(1, True)]])
+    solver.solve(conflict_budget=0)
+    lits = set(solver.level0_literals())
+    assert mk_lit(3) in lits
+    assert mk_lit(1, True) in lits
+
+
+def test_learnt_binaries_recorded():
+    # Force a conflict whose 1UIP clause is binary: x0 -> chain -> conflict.
+    rng = random.Random(0)
+    clauses = random_3sat(12, 60, rng)
+    solver, ok = make_solver(clauses, 12)
+    solver.solve(conflict_budget=1000)
+    for a, b in solver.learnt_binary_clauses():
+        assert a < b
+
+
+# -- randomized cross-checks ----------------------------------------------------------
+
+
+def random_3sat(n, m, rng):
+    clauses = []
+    for _ in range(m):
+        vs = rng.sample(range(n), 3)
+        clauses.append([mk_lit(v, rng.random() < 0.5) for v in vs])
+    return clauses
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_agrees_with_brute_force_random(seed):
+    rng = random.Random(seed)
+    n = rng.randint(4, 10)
+    m = rng.randint(n, 5 * n)
+    clauses = random_3sat(n, m, rng)
+    expected = brute_force(n, clauses)
+    solver, ok = make_solver(clauses, n)
+    verdict = solver.solve() if ok else UNSAT
+    if expected is None:
+        assert verdict is UNSAT
+    else:
+        assert verdict is SAT
+        model = [1 if v == TRUE else 0 for v in solver.model]
+        for clause in clauses:
+            assert any(model[l >> 1] ^ (l & 1) for l in clause)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_model_satisfies_all_clauses(seed):
+    rng = random.Random(100 + seed)
+    clauses = random_3sat(15, 40, rng)
+    solver, ok = make_solver(clauses, 15)
+    if not ok:
+        return
+    if solver.solve() is SAT:
+        model = [1 if v == TRUE else 0 for v in solver.model]
+        for clause in clauses:
+            assert any(model[l >> 1] ^ (l & 1) for l in clause)
+
+
+def test_unsat_xor_system_via_clauses():
+    # x0^x1=1, x1^x2=0, x0^x2=0 sums to 1=0: UNSAT.
+    def xor_clauses(a, b, rhs):
+        out = []
+        for pa, pb in itertools.product([0, 1], repeat=2):
+            if pa ^ pb != rhs:
+                out.append([mk_lit(a, bool(pa)), mk_lit(b, bool(pb))])
+        return out
+
+    clauses = xor_clauses(0, 1, 1) + xor_clauses(1, 2, 0) + xor_clauses(0, 2, 0)
+    solver, ok = make_solver(clauses)
+    assert not ok or solver.solve() is UNSAT
+
+
+def test_assumptions_sat_and_conflicting():
+    clauses = [[mk_lit(0), mk_lit(1)]]
+    solver, _ = make_solver(clauses)
+    assert solver.solve(assumptions=[mk_lit(0, True)]) is SAT
+    assert solver.model[1] == TRUE
+    solver2, _ = make_solver([[mk_lit(0)]])
+    assert solver2.solve(assumptions=[mk_lit(0, True)]) is UNSAT
+
+
+def test_statistics_populated():
+    rng = random.Random(7)
+    clauses = random_3sat(20, 85, rng)
+    solver, _ = make_solver(clauses, 20)
+    solver.solve()
+    assert solver.num_decisions > 0
+    assert solver.num_propagations > 0

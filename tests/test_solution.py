@@ -1,0 +1,66 @@
+"""Tests for Solution and FactStore."""
+
+from repro.anf import Poly, parse_system
+from repro.core import FactStore, Solution, classify_fact
+from repro.core.facts import SOURCE_ELIMLIN, SOURCE_XL
+
+
+def polys_of(text):
+    _, polys = parse_system(text)
+    return polys
+
+
+def test_solution_satisfies():
+    polys = polys_of("x1 + x2 + 1")
+    assert Solution([0, 1, 0]).satisfies(polys)
+    assert not Solution([0, 1, 1]).satisfies(polys)
+
+
+def test_solution_pads_short_assignments():
+    polys = polys_of("x5")
+    assert Solution([0]).satisfies(polys)  # x5 defaults to 0
+
+
+def test_violated_lists_failures():
+    polys = polys_of("x1\nx2 + 1")
+    violated = Solution([0, 1, 1]).violated(polys)
+    assert violated == [polys[0]]
+
+
+def test_classify_fact():
+    assert classify_fact(polys_of("x1 + 1")[0]) == "unit"
+    assert classify_fact(polys_of("x1 + x2")[0]) == "equivalence"
+    assert classify_fact(polys_of("x1*x2 + 1")[0]) == "monomial"
+    assert classify_fact(polys_of("x1 + x2 + x3")[0]) == "linear"
+    assert classify_fact(polys_of("x1*x2 + x3")[0]) == "other"
+
+
+def test_fact_store_dedupes():
+    store = FactStore()
+    p = polys_of("x1 + 1")[0]
+    assert store.add(p, SOURCE_XL) is True
+    assert store.add(p, SOURCE_ELIMLIN) is False  # first source wins
+    assert store.source_of(p) == SOURCE_XL
+    assert len(store) == 1
+
+
+def test_fact_store_ignores_zero():
+    store = FactStore()
+    assert store.add(Poly.zero(), SOURCE_XL) is False
+    assert len(store) == 0
+
+
+def test_fact_store_by_source_and_summary():
+    store = FactStore()
+    store.add_all(polys_of("x1 + 1\nx2"), SOURCE_XL)
+    store.add(polys_of("x3 + x4")[0], SOURCE_ELIMLIN)
+    assert len(store.by_source(SOURCE_XL)) == 2
+    assert store.summary() == {SOURCE_XL: 2, SOURCE_ELIMLIN: 1}
+    assert len(store.polynomials()) == 3
+
+
+def test_fact_store_iteration_order():
+    store = FactStore()
+    ps = polys_of("x1\nx2\nx3")
+    store.add_all(ps, SOURCE_XL)
+    assert [p for p, _ in store] == ps

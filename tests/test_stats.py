@@ -1,0 +1,53 @@
+"""Tests for ANF system statistics."""
+
+from repro.anf import describe_system, parse_system
+
+
+def polys_of(text):
+    _, polys = parse_system(text)
+    return polys
+
+
+def test_empty_system():
+    stats = describe_system([])
+    assert stats.n_equations == 0
+    assert stats.avg_equation_size == 0.0
+
+
+def test_counts():
+    stats = describe_system(polys_of("""
+x1*x2 + x3 + 1
+x1 + x2
+x1*x2*x3 + x1*x2
+"""))
+    assert stats.n_equations == 3
+    assert stats.n_variables == 3
+    assert stats.max_degree == 3
+    assert stats.linear_equations == 1
+    assert stats.degree_histogram == {2: 1, 1: 1, 3: 1}
+    assert stats.max_equation_size == 3
+    assert stats.n_monomials == 7
+    # distinct: x1x2, x3, 1, x1, x2, x1x2x3 -> 6
+    assert stats.n_distinct_monomials == 6
+
+
+def test_avg_size():
+    stats = describe_system(polys_of("x1 + x2\nx1"))
+    assert stats.avg_equation_size == 1.5
+
+
+def test_format_contains_key_lines():
+    text = describe_system(polys_of("x1*x2 + 1")).format()
+    assert "equations:" in text
+    assert "degree histogram:" in text
+
+
+def test_cli_stats_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "p.anf"
+    path.write_text("x1*x2 + x3\nx1 + 1\n")
+    main(["--anfread", str(path), "--stats", "--verb", "0"])
+    out = capsys.readouterr().out
+    assert "input ANF statistics" in out
+    assert "processed ANF statistics" in out
