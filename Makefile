@@ -1,0 +1,21 @@
+# Developer entry points.  PYTHONPATH is injected so no install is needed.
+
+PYTHON ?= python
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke
+
+# Tier-1 verification: the full unit/integration suite.
+test:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+# Full benchmark run (slow; honours REPRO_BENCH_COUNT / REPRO_BENCH_TIMEOUT).
+bench:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only -q
+
+# Perf smoke: run every benchmark file once with tiny parameters and the
+# timing machinery disabled.  Catches regressions (crashes, pathological
+# slowdowns, broken assertions) in the hot paths without a full run.
+bench-smoke:
+	REPRO_BENCH_COUNT=1 REPRO_BENCH_TIMEOUT=2 \
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_*.py -q --benchmark-disable

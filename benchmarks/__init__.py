@@ -1,0 +1,6 @@
+"""Benchmark suite package.
+
+The package marker lets the Table II benches' ``from .conftest import``
+resolve when pytest imports them (``pytest benchmarks/bench_*.py``), and
+lets the smoke target run every file uniformly.
+"""

@@ -51,6 +51,26 @@ def test_probing_plugin_on_simon(benchmark, probing):
     benchmark.extra_info["iterations"] = result.iterations
 
 
+def test_probing_only_propagation_heavy(benchmark):
+    """The propagation-heavy configuration: probing without XL/ElimLin/SAT.
+
+    Every probe is two propagation fixpoints on a scratch copy, so this
+    config times the ANF propagation engine almost exclusively.  The
+    incremental dirty-set engine propagates each assumption's cone
+    instead of re-walking the whole Simon system per probe.
+    """
+    inst = simon.generate_instance(2, 5, seed=11)
+    cfg = Config(use_xl=False, use_elimlin=False, use_sat=False,
+                 use_probing=True, probe_limit=48, max_iterations=2)
+
+    result = benchmark.pedantic(
+        lambda: Bosphorus(cfg).preprocess_anf(inst.ring.clone(), inst.polynomials),
+        rounds=3, iterations=1,
+    )
+    assert result.status != "unsat"
+    benchmark.extra_info["facts"] = result.facts.summary()
+
+
 def test_probing_alone_solves_worked_example(benchmark):
     """Probing + propagation without XL/ElimLin/SAT still fixpoints to (2)."""
     cfg = Config(use_xl=False, use_elimlin=False, use_sat=False,

@@ -1,14 +1,22 @@
-"""Substrate micro-benchmarks: CDCL throughput and GF(2) elimination.
+"""Substrate micro-benchmarks: CDCL throughput, GF(2) elimination and
+ANF propagation.
 
 Not a paper artifact, but the costs every Table II number sits on: how
-fast the pure-Python CDCL propagates/learns, and how fast the bit-packed
-Gauss–Jordan (the M4RI stand-in) reduces XL-sized matrices.
+fast the pure-Python CDCL propagates/learns, how fast the bit-packed
+Gauss–Jordan (the M4RI stand-in) reduces XL-sized matrices, and how fast
+the incremental ANF propagation engine folds fact batches into the
+master system (the `_absorb` inner loop of the Bosphorus workflow).
 """
 
 import random
 
 import pytest
 
+from repro.anf import AnfSystem
+from repro.anf.polynomial import Poly
+from repro.ciphers import simon
+from repro.core.probing import run_probing
+from repro.core.propagation import propagate
 from repro.gf2 import GF2Matrix
 from repro.sat import Solver, mk_lit
 from repro.satcomp import generators
@@ -41,6 +49,55 @@ def test_cdcl_pigeonhole_unsat(benchmark):
 
     verdict = benchmark.pedantic(solve, rounds=1, iterations=1)
     assert verdict is False
+
+
+def test_anf_propagation_absorb_batches(benchmark):
+    """The propagation-heavy configuration: _absorb-style fact batches.
+
+    Mirrors the Bosphorus inner loop on a Simon-[4,12] system: learnt
+    unit facts arrive in small batches and each batch is folded into the
+    master ANF by propagation.  With the incremental engine each batch
+    costs its dirty closure; the seed paid O(system) per batch.
+    """
+    inst = simon.generate_instance(4, 12, seed=7)
+    facts = [
+        Poly.variable(v).add_constant(inst.witness[v]) for v in range(120)
+    ]
+
+    def absorb_all():
+        system = AnfSystem(inst.ring.clone(), inst.polynomials)
+        propagate(system)
+        for i in range(0, len(facts), 4):
+            fresh = []
+            for f in facts[i : i + 4]:
+                nf = system.normalize(f)
+                if not nf.is_zero() and system.add(nf):
+                    fresh.append(nf)
+            if fresh:
+                propagate(system, dirty=fresh)
+        return system
+
+    system = benchmark.pedantic(absorb_all, rounds=3, iterations=1)
+    assert system.check_assignment(inst.witness)
+    benchmark.extra_info["residual_eqs"] = len(system)
+
+
+def test_anf_propagation_probing_sweep(benchmark):
+    """Failed-literal probing: 2 propagation fixpoints per probed variable.
+
+    Probing is pure propagation load — every probe assumes a literal on
+    a scratch copy and propagates its cone.  The incremental engine makes
+    each probe cost the assumption's closure instead of the system.
+    """
+    inst = simon.generate_instance(2, 5, seed=11)
+    system = AnfSystem(inst.ring.clone(), inst.polynomials)
+    propagate(system)
+
+    result = benchmark.pedantic(
+        lambda: run_probing(system, None, 24), rounds=3, iterations=1
+    )
+    assert result.probed == 24
+    benchmark.extra_info["facts"] = len(result.facts)
 
 
 def test_gf2_rref_xl_sized(benchmark):

@@ -14,7 +14,7 @@ from .parser import (
     read_anf,
     write_anf,
 )
-from .polynomial import Poly
+from .polynomial import Poly, PolyBuilder
 from .ring import Ring
 from .stats import SystemStats, describe_system
 from .system import AnfSystem, ContradictionError, VariableState
@@ -25,6 +25,7 @@ __all__ = [
     "SystemStats",
     "describe_system",
     "Poly",
+    "PolyBuilder",
     "Ring",
     "AnfSystem",
     "VariableState",

@@ -3,22 +3,117 @@
 A monomial is a product of distinct Boolean variables.  Because we work in
 the Boolean quotient ring GF(2)[x1..xn] / (x_i^2 + x_i), exponents never
 exceed one, so a monomial is fully described by the *set* of variables it
-contains.  We represent a monomial as a sorted tuple of variable indices;
-the empty tuple is the constant monomial ``1``.
+contains.  The public representation is a sorted tuple of variable
+indices; the empty tuple is the constant monomial ``1``.
 
-Tuples (rather than frozensets) keep a total order for free, which gives us
-deterministic iteration and a ready-made degree-lexicographic comparison for
-the Groebner-basis code.
+Tuples (rather than frozensets) keep a total order for free, which gives
+us deterministic iteration and a ready-made degree-lexicographic
+comparison for the Groebner-basis code.
+
+Bitmask fast path
+-----------------
+Internally every monomial whose variables all fit below :data:`MASK_BITS`
+is shadowed by an int bitmask (bit ``v`` set iff ``x_v`` divides the
+monomial), and the hot operations — :func:`mul`, :func:`divides`,
+:func:`lcm` — collapse to single bitwise ops on those masks.  Monomials
+with a variable at or above :data:`MASK_BITS` fall back to the original
+sorted-tuple merge, so behaviour is identical across the boundary.
+
+Masks and their tuples are *interned*: :func:`make`, :func:`mul` and
+friends return a canonical tuple object per distinct monomial, so hot
+loops that rebuild the same monomials (propagation, XL expansion,
+substitution) hit the cache instead of re-sorting and re-allocating.
+Interning is an optimisation only — raw tuples built elsewhere compare
+equal to interned ones and may be passed to every function here.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 Monomial = Tuple[int, ...]
 
 #: The constant monomial ``1`` (the product of zero variables).
 ONE: Monomial = ()
+
+#: Variables below this index ride the int-bitmask fast path; the rest
+#: use the tuple fallback.  Lifting this limit (gmpy2 / numpy words) is a
+#: ROADMAP open item.
+MASK_BITS = 64
+
+_MASK_LIMIT = 1 << MASK_BITS
+
+# Interning tables.  ``_mask_of`` maps a (canonical or raw) tuple to its
+# bitmask, or -1 when some variable is >= MASK_BITS.  ``_tuple_of`` maps a
+# bitmask back to the canonical tuple.  Both grow with the distinct
+# monomials actually seen, which in practice is bounded by the XL column
+# count — tens of thousands, not millions.
+_mask_of: Dict[Monomial, int] = {ONE: 0}
+_tuple_of: Dict[int, Monomial] = {0: ONE}
+
+
+def _tuple_from_mask(mask: int) -> Monomial:
+    """Decode a bitmask into the canonical sorted tuple, interning it."""
+    cached = _tuple_of.get(mask)
+    if cached is not None:
+        return cached
+    out = []
+    m = mask
+    while m:
+        low = m & -m
+        out.append(low.bit_length() - 1)
+        m ^= low
+    t = tuple(out)
+    _tuple_of[mask] = t
+    _mask_of[t] = mask
+    return t
+
+
+#: Clear the interning tables when they pass this many entries.  The
+#: tables are pure caches, so clearing only costs re-interning; the cap
+#: keeps long experiment sweeps (many instances per process) bounded.
+_INTERN_CAP = 1 << 20
+
+
+def mask_of(m: Monomial) -> int:
+    """The bitmask shadow of ``m``, or -1 if it exceeds :data:`MASK_BITS`.
+
+    Exposed for the propagation engine and tests; most callers should use
+    the arithmetic helpers, which consult the cache themselves.  Wide
+    monomials (the -1 case) are deliberately *not* cached: their universe
+    is unbounded (XL expansion, probing scratch copies), and the rescan
+    costs no more than the tuple fallback the caller takes anyway.
+    """
+    cached = _mask_of.get(m)
+    if cached is not None:
+        return cached
+    mask = 0
+    for v in m:
+        if v >= MASK_BITS or v < 0:
+            return -1
+        mask |= 1 << v
+    if len(_mask_of) > _INTERN_CAP:
+        _mask_of.clear()
+        _tuple_of.clear()
+        _mask_of[ONE] = 0
+        _tuple_of[0] = ONE
+    _mask_of[m] = mask
+    return mask
+
+
+def from_mask(mask: int) -> Monomial:
+    """The canonical tuple for a bitmask (inverse of :func:`mask_of`)."""
+    if not 0 <= mask < _MASK_LIMIT:
+        raise ValueError("mask out of range for {} variables".format(MASK_BITS))
+    return _tuple_from_mask(mask)
+
+
+def intern(m: Monomial) -> Monomial:
+    """The canonical shared tuple equal to ``m`` (identity-stable)."""
+    mask = mask_of(m)
+    if mask < 0:
+        return m
+    return _tuple_from_mask(mask)
 
 
 def make(variables: Iterable[int]) -> Monomial:
@@ -30,7 +125,13 @@ def make(variables: Iterable[int]) -> Monomial:
     >>> make([3, 1, 3])
     (1, 3)
     """
-    return tuple(sorted(set(variables)))
+    vs = variables if isinstance(variables, (tuple, list)) else list(variables)
+    mask = 0
+    for v in vs:
+        if v >= MASK_BITS or v < 0:
+            return tuple(sorted(set(vs)))
+        mask |= 1 << v
+    return _tuple_from_mask(mask)
 
 
 def degree(m: Monomial) -> int:
@@ -48,7 +149,12 @@ def mul(a: Monomial, b: Monomial) -> Monomial:
         return b
     if not b:
         return a
-    # Merge two sorted tuples, dropping duplicates.
+    ma = mask_of(a)
+    if ma >= 0:
+        mb = mask_of(b)
+        if mb >= 0:
+            return _tuple_from_mask(ma | mb)
+    # Tuple fallback: merge two sorted tuples, dropping duplicates.
     out = []
     i = j = 0
     la, lb = len(a), len(b)
@@ -78,18 +184,44 @@ def divides(a: Monomial, b: Monomial) -> bool:
     """True if monomial ``a`` divides monomial ``b`` (subset of variables)."""
     if len(a) > len(b):
         return False
+    ma = mask_of(a)
+    if ma >= 0:
+        mb = mask_of(b)
+        if mb >= 0:
+            return ma & mb == ma
     bs = set(b)
     return all(v in bs for v in a)
 
 
 def remove(m: Monomial, var: int) -> Monomial:
     """The monomial with ``var`` divided out; ``m`` must contain ``var``."""
+    mask = mask_of(m)
+    if mask >= 0 and var < MASK_BITS:
+        return _tuple_from_mask(mask & ~(1 << var))
     return tuple(v for v in m if v != var)
 
 
 def lcm(a: Monomial, b: Monomial) -> Monomial:
     """Least common multiple (same as the product in a Boolean ring)."""
     return mul(a, b)
+
+
+def expand_negated(base: Monomial, negated: Iterable[int]) -> list:
+    """Monomials of ``base * Π_y (x_y + 1)`` in the Boolean ring.
+
+    Each negated-variable factor doubles the sum (the subset expansion);
+    the result is the empty list when the product collapses to zero,
+    i.e. some ``y`` already divides ``base`` (``y * (y + 1) = 0``).
+    Shared by the literal-substitution fast path and the CNF clause
+    conversion so the expansion idiom lives in one place.
+    """
+    ys = sorted(set(negated))
+    if any(y in base for y in ys):
+        return []
+    out = [base]
+    for y in ys:
+        out += [mul(p, (y,)) for p in out]
+    return out
 
 
 def evaluate(m: Monomial, assignment) -> int:

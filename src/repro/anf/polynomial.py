@@ -9,11 +9,23 @@ Design notes
 ------------
 * The internal representation is a ``frozenset`` of monomials (sorted int
   tuples, see :mod:`repro.anf.monomial`).  XOR of polynomials is then the
-  symmetric difference of sets, which Python does natively and fast.
+  symmetric difference of sets, which Python does natively and fast.  The
+  monomials themselves are interned tuples shadowed by int bitmasks, so
+  the monomial products inside :meth:`Poly.__mul__` and the substitution
+  methods are single bitwise ops for systems under 64 variables.
+* ``Poly`` memoises its hash, total degree and variable support.  Degree
+  and support are asked for constantly by the propagation engine, the
+  occurrence-list bookkeeping in :class:`~repro.anf.system.AnfSystem` and
+  the fact classifiers, so they are computed once per value object rather
+  than per call.  ``variables()`` returns the cached frozenset — callers
+  must treat it as read-only.
 * Polynomials are value objects.  All "mutation" in the rest of the code
   base (propagation, substitution, ElimLin) builds new polynomials, which
-  mirrors the paper's design where only ANF propagation replaces the master
-  system.
+  mirrors the paper's design where only ANF propagation replaces the
+  master system.  Hot loops that accumulate many XORs should use
+  :class:`PolyBuilder`, which toggles monomials in one mutable set and
+  materialises a single ``Poly`` at the end instead of allocating one
+  intermediate ``Poly`` per step.
 * Throughout the code base a polynomial always means the *equation*
   ``p = 0``, exactly as in the paper ("we use the term polynomial to mean
   polynomial equation equated to zero").
@@ -30,7 +42,7 @@ from .monomial import Monomial
 class Poly:
     """An immutable Boolean polynomial (XOR of monomials) over GF(2)."""
 
-    __slots__ = ("_monomials", "_hash")
+    __slots__ = ("_monomials", "_hash", "_degree", "_vars")
 
     def __init__(self, monomials: Iterable[Monomial] = ()):
         """Build a polynomial from monomials, cancelling pairs mod 2.
@@ -46,6 +58,18 @@ class Poly:
                 seen.add(m)
         self._monomials: FrozenSet[Monomial] = frozenset(seen)
         self._hash: Optional[int] = None
+        self._degree: Optional[int] = None
+        self._vars: Optional[FrozenSet[int]] = None
+
+    @staticmethod
+    def _from_frozenset(monomials: FrozenSet[Monomial]) -> "Poly":
+        """Internal fast constructor: monomials are already cancelled."""
+        p = Poly.__new__(Poly)
+        p._monomials = monomials
+        p._hash = None
+        p._degree = None
+        p._vars = None
+        return p
 
     # -- constructors ------------------------------------------------------
 
@@ -107,21 +131,35 @@ class Poly:
         return mono.ONE in self._monomials
 
     def degree(self) -> int:
-        """Total degree: the largest monomial degree (0 for constants)."""
-        if not self._monomials:
-            return 0
-        return max(len(m) for m in self._monomials)
+        """Total degree: the largest monomial degree (0 for constants).
 
-    def variables(self) -> Set[int]:
-        """The set of variable indices occurring in the polynomial."""
-        out: Set[int] = set()
-        for m in self._monomials:
-            out.update(m)
-        return out
+        Cached on first call; ``Poly`` is immutable so the value never
+        goes stale.
+        """
+        d = self._degree
+        if d is None:
+            ms = self._monomials
+            d = max(map(len, ms)) if ms else 0
+            self._degree = d
+        return d
+
+    def variables(self) -> FrozenSet[int]:
+        """The set of variable indices occurring in the polynomial.
+
+        Cached and shared — treat the returned frozenset as read-only.
+        """
+        vs = self._vars
+        if vs is None:
+            out: Set[int] = set()
+            for m in self._monomials:
+                out.update(m)
+            vs = frozenset(out)
+            self._vars = vs
+        return vs
 
     def is_linear(self) -> bool:
         """True if every monomial has degree at most one."""
-        return all(len(m) <= 1 for m in self._monomials)
+        return self.degree() <= 1
 
     def leading_monomial(self) -> Monomial:
         """Largest monomial in degree-lexicographic order.
@@ -197,10 +235,7 @@ class Poly:
 
     def __add__(self, other: "Poly") -> "Poly":
         """GF(2) addition (XOR): symmetric difference of monomial sets."""
-        p = Poly.__new__(Poly)
-        p._monomials = self._monomials ^ other._monomials
-        p._hash = None
-        return p
+        return Poly._from_frozenset(self._monomials ^ other._monomials)
 
     __xor__ = __add__
     __sub__ = __add__
@@ -209,18 +244,38 @@ class Poly:
         """Boolean-ring product; distributes and cancels mod 2."""
         if not self._monomials or not other._monomials:
             return _ZERO
+        mul = mono.mul
         acc: Set[Monomial] = set()
+        toggle_in, toggle_out = acc.add, acc.discard
         for a in self._monomials:
             for b in other._monomials:
-                m = mono.mul(a, b)
+                m = mul(a, b)
                 if m in acc:
-                    acc.discard(m)
+                    toggle_out(m)
                 else:
-                    acc.add(m)
-        p = Poly.__new__(Poly)
-        p._monomials = frozenset(acc)
-        p._hash = None
-        return p
+                    toggle_in(m)
+        return Poly._from_frozenset(frozenset(acc))
+
+    def mul_monomial(self, m: Monomial) -> "Poly":
+        """``self * m`` for a single monomial — one pass, no nested loop.
+
+        The workhorse of XL expansion and Buchberger reduction, where one
+        operand is always a monomial; with interned bitmask monomials each
+        term is a single OR.
+        """
+        if not self._monomials:
+            return _ZERO
+        if not m:
+            return self
+        mul = mono.mul
+        acc: Set[Monomial] = set()
+        for a in self._monomials:
+            prod = mul(a, m)
+            if prod in acc:
+                acc.discard(prod)
+            else:
+                acc.add(prod)
+        return Poly._from_frozenset(frozenset(acc))
 
     def add_constant(self, value: int) -> "Poly":
         """``self + value`` for value in {0, 1}."""
@@ -234,6 +289,8 @@ class Poly:
         Used by ElimLin's variable elimination and by ANF propagation
         (with constant or single-variable replacements).
         """
+        if self._vars is not None and var not in self._vars:
+            return self
         untouched: Set[Monomial] = set()
         acc: Set[Monomial] = set()
         hit = False
@@ -251,19 +308,48 @@ class Poly:
                     acc.add(prod)
         if not hit:
             return self
-        p = Poly.__new__(Poly)
-        p._monomials = frozenset(untouched) ^ frozenset(acc)
-        p._hash = None
-        return p
+        return Poly._from_frozenset(frozenset(untouched) ^ frozenset(acc))
 
     def substitute_many(self, mapping: Dict[int, "Poly"]) -> "Poly":
         """Simultaneously substitute several variables.
 
         The substitution is simultaneous: replacement polynomials are *not*
         themselves rewritten, matching GJE-style back-substitution.
+
+        Replacements that are constants or (possibly negated) single
+        variables — the shapes ANF propagation's variable state produces —
+        take a monomial-rewriting fast path that skips the generic
+        polynomial products.
         """
         if not mapping:
             return self
+        simple: Optional[Dict[int, Tuple[Optional[int], int]]] = {}
+        for v, rp in mapping.items():
+            ms = rp._monomials
+            n = len(ms)
+            if n == 0:
+                simple[v] = (None, 0)  # constant 0: the monomial dies
+            elif n == 1:
+                (m,) = ms
+                if not m:
+                    simple[v] = (None, 1)  # constant 1: drop the variable
+                elif len(m) == 1:
+                    simple[v] = (m[0], 0)  # alias y
+                else:
+                    simple = None
+                    break
+            elif n == 2 and mono.ONE in ms:
+                other = next(mm for mm in ms if mm)
+                if len(other) == 1:
+                    simple[v] = (other[0], 1)  # negated alias y + 1
+                else:
+                    simple = None
+                    break
+            else:
+                simple = None
+                break
+        if simple is not None:
+            return self._substitute_literals(simple)
         acc: Set[Monomial] = set()
         for m in self._monomials:
             hit = [v for v in m if v in mapping]
@@ -284,10 +370,55 @@ class Poly:
                     acc.discard(pm)
                 else:
                     acc.add(pm)
-        p = Poly.__new__(Poly)
-        p._monomials = frozenset(acc)
-        p._hash = None
-        return p
+        return Poly._from_frozenset(frozenset(acc))
+
+    def _substitute_literals(
+        self, simple: Dict[int, Tuple[Optional[int], int]]
+    ) -> "Poly":
+        """Substitution where every replacement is ``0``, ``1``, ``y`` or
+        ``y + 1`` (encoded ``(None, 0)``, ``(None, 1)``, ``(y, 0)``,
+        ``(y, 1)``).  Each monomial rewrites to at most ``2^k`` monomials
+        where k is its count of *negated* aliases — almost always 0 or 1.
+        """
+        get = simple.get
+        acc: Set[Monomial] = set()
+        for m in self._monomials:
+            base = []
+            negated = None
+            dead = False
+            for v in m:
+                s = get(v)
+                if s is None:
+                    base.append(v)
+                    continue
+                y, c = s
+                if y is None:
+                    if c == 0:
+                        dead = True
+                        break
+                    # constant 1: variable simply drops out
+                elif c == 0:
+                    base.append(y)
+                else:
+                    if negated is None:
+                        negated = set()
+                    negated.add(y)
+            if dead:
+                continue
+            base_m = mono.make(base)
+            if not negated:
+                if base_m in acc:
+                    acc.discard(base_m)
+                else:
+                    acc.add(base_m)
+                continue
+            # Π (y_i + 1) = Σ over subsets; empty when the product dies.
+            for pm in mono.expand_negated(base_m, negated):
+                if pm in acc:
+                    acc.discard(pm)
+                else:
+                    acc.add(pm)
+        return Poly._from_frozenset(frozenset(acc))
 
     def evaluate(self, assignment) -> int:
         """Evaluate under a full assignment (mapping or sequence); 0 or 1."""
@@ -336,6 +467,60 @@ class Poly:
             else:
                 parts.append("*".join(names[v] for v in m))
         return " + ".join(parts)
+
+
+class PolyBuilder:
+    """Mutable GF(2) accumulator for hot loops.
+
+    Collects monomials with XOR semantics (a monomial added twice
+    cancels) in one mutable set, then materialises a single :class:`Poly`.
+    This avoids the per-step frozenset allocation of chained ``p + q``
+    in accumulation-heavy code (see the CNF→ANF clause conversion).
+
+    >>> b = PolyBuilder()
+    >>> b.add_monomial((1,)); b.add_monomial((1,)); b.add_monomial((2,))
+    >>> b.build().to_string()
+    'x2'
+    """
+
+    __slots__ = ("_acc",)
+
+    def __init__(self, start: Optional[Poly] = None):
+        self._acc: Set[Monomial] = set(start._monomials) if start else set()
+
+    def add_monomial(self, m: Monomial) -> None:
+        """XOR a single monomial into the accumulator."""
+        acc = self._acc
+        if m in acc:
+            acc.discard(m)
+        else:
+            acc.add(m)
+
+    def add_poly(self, p: Poly) -> None:
+        """XOR a whole polynomial into the accumulator."""
+        self._acc ^= p._monomials
+
+    def add_monomials(self, monomials: Iterable[Monomial]) -> None:
+        """XOR an iterable of monomials into the accumulator."""
+        add = self.add_monomial
+        for m in monomials:
+            add(m)
+
+    def __len__(self) -> int:
+        return len(self._acc)
+
+    def __bool__(self) -> bool:
+        return bool(self._acc)
+
+    def is_zero(self) -> bool:
+        """True if the accumulated sum is currently zero."""
+        return not self._acc
+
+    def build(self) -> Poly:
+        """Materialise the accumulated sum as an immutable :class:`Poly`."""
+        if not self._acc:
+            return _ZERO
+        return Poly._from_frozenset(frozenset(self._acc))
 
 
 _ZERO = Poly()

@@ -14,7 +14,7 @@ contradictory merge is detected immediately.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .polynomial import Poly
 from .ring import Ring
@@ -31,6 +31,10 @@ class VariableState:
         self._parent: List[int] = list(range(n_vars))
         self._parity: List[int] = [0] * n_vars
         self._value: List[Optional[int]] = [None] * n_vars
+        # Every variable that might have a non-trivial substitution (a
+        # value or a non-root representative).  Lets AnfSystem.normalize
+        # skip untouched variables without a union-find walk.
+        self._touched: Set[int] = set()
 
     def ensure(self, index: int) -> None:
         """Grow state so ``index`` is valid."""
@@ -82,6 +86,8 @@ class VariableState:
         Raises :class:`ContradictionError` on conflict.
         """
         root, parity = self.find(v)
+        self._touched.add(v)
+        self._touched.add(root)
         want = value ^ parity
         have = self._value[root]
         if have is None:
@@ -100,6 +106,7 @@ class VariableState:
         """
         ra, pa = self.find(a)
         rb, pb = self.find(b)
+        self._touched.update((a, b, ra, rb))
         joint = pa ^ pb ^ parity
         if ra == rb:
             if joint:
@@ -125,6 +132,15 @@ class VariableState:
         if vb is None and va is not None:
             self._value[rb] = va ^ joint
         return True
+
+    def clone(self) -> "VariableState":
+        """Structural copy (parent/parity/value arrays), O(n_vars)."""
+        other = VariableState(0)
+        other._parent = list(self._parent)
+        other._parity = list(self._parity)
+        other._value = list(self._value)
+        other._touched = set(self._touched)
+        return other
 
     def known_variables(self) -> List[int]:
         """All variables with a determined value."""
@@ -165,14 +181,26 @@ class AnfSystem:
     Every stored polynomial represents the equation ``p = 0``.  The system
     deduplicates polynomials and drops zeros; storing ``1`` raises
     :class:`ContradictionError` (the paper's ``1 = 0`` termination signal).
+
+    The per-variable occurrence lists are *persistent* state (paper
+    section III-B): :meth:`add`, :meth:`remove_at`, :meth:`replace_at` and
+    :meth:`replace_all` all keep them exact, so the incremental
+    propagation engine never rebuilds them.  Removal is swap-remove (the
+    last equation moves into the freed slot), so indices are dense but
+    not stable across removals — :meth:`index_of` gives the current slot
+    of a polynomial in O(1).
     """
 
     def __init__(self, ring: Ring, polynomials: Iterable[Poly] = ()):
         self.ring = ring
         self.state = VariableState(ring.n_vars)
         self._polys: List[Poly] = []
-        self._poly_set: Set[Poly] = set()
+        self._index: Dict[Poly, int] = {}
         self._occurrence: Dict[int, Set[int]] = {}
+        # Propagation-owned memo: linear-residual row sets whose GF(2)
+        # echelonisation yielded no facts.  The verdict depends only on
+        # the rows, so copies share (and jointly grow) the same set.
+        self._linear_nofact_memo: Set[FrozenSet[Poly]] = set()
         for p in polynomials:
             self.add(p)
 
@@ -190,7 +218,11 @@ class AnfSystem:
         return iter(self._polys)
 
     def __contains__(self, p: Poly) -> bool:
-        return p in self._poly_set
+        return p in self._index
+
+    def index_of(self, p: Poly) -> Optional[int]:
+        """Current slot of an equation, or None if it is not stored."""
+        return self._index.get(p)
 
     def add(self, p: Poly) -> bool:
         """Add an equation.  Returns True if it was new.
@@ -202,19 +234,90 @@ class AnfSystem:
             return False
         if p.is_one():
             raise ContradictionError("system contains 1 = 0")
-        if p in self._poly_set:
+        if p in self._index:
             return False
         idx = len(self._polys)
         self._polys.append(p)
-        self._poly_set.add(p)
+        self._index[p] = idx
+        occurrence = self._occurrence
         for v in p.variables():
             self.ring.ensure(v)
             self.state.ensure(v)
-            self._occurrence.setdefault(v, set()).add(idx)
+            occ = occurrence.get(v)
+            if occ is None:
+                occurrence[v] = {idx}
+            else:
+                occ.add(idx)
+        return True
+
+    def remove_at(self, idx: int) -> Poly:
+        """Remove the equation at ``idx`` (swap-remove); returns it.
+
+        The last equation moves into the freed slot and the occurrence
+        lists are patched incrementally, so the cost is proportional to
+        the two touched equations, not the system.
+        """
+        polys = self._polys
+        p = polys[idx]
+        occurrence = self._occurrence
+        for v in p.variables():
+            occ = occurrence.get(v)
+            if occ is not None:
+                occ.discard(idx)
+        del self._index[p]
+        last = len(polys) - 1
+        if idx != last:
+            moved = polys[last]
+            polys[idx] = moved
+            self._index[moved] = idx
+            for v in moved.variables():
+                occ = occurrence[v]
+                occ.discard(last)
+                occ.add(idx)
+        polys.pop()
+        return p
+
+    def replace_at(self, idx: int, p: Poly) -> bool:
+        """Swap the equation at ``idx`` for ``p``, patching occurrences.
+
+        Zero or already-present replacements just remove the old equation
+        (dedup); the constant ``1`` raises :class:`ContradictionError`.
+        Returns True if ``p`` is now stored (at ``idx``), False if the
+        slot was removed instead.
+        """
+        if p.is_one():
+            raise ContradictionError("system contains 1 = 0")
+        old = self._polys[idx]
+        if p is old or self._index.get(p) == idx:
+            # Identical slot content (possibly a distinct equal object):
+            # nothing to do — in particular this must NOT fall through to
+            # the dedup removal below, which would drop the equation.
+            return True
+        if p.is_zero() or p in self._index:
+            self.remove_at(idx)
+            return False
+        occurrence = self._occurrence
+        old_vars = old.variables()
+        new_vars = p.variables()
+        for v in old_vars - new_vars:
+            occ = occurrence.get(v)
+            if occ is not None:
+                occ.discard(idx)
+        for v in new_vars - old_vars:
+            self.ring.ensure(v)
+            self.state.ensure(v)
+            occ = occurrence.get(v)
+            if occ is None:
+                occurrence[v] = {idx}
+            else:
+                occ.add(idx)
+        del self._index[old]
+        self._polys[idx] = p
+        self._index[p] = idx
         return True
 
     def occurrences(self, var: int) -> Set[int]:
-        """Indices of equations in which ``var`` occurs."""
+        """Indices of equations in which ``var`` occurs (live view)."""
         return self._occurrence.get(var, set())
 
     def occurrence_count(self, var: int) -> int:
@@ -224,11 +327,12 @@ class AnfSystem:
     def replace_all(self, polynomials: Iterable[Poly]) -> None:
         """Swap in a new equation list, rebuilding occurrence lists.
 
-        Only ANF propagation should call this — it is the single place the
-        master copy is replaced, matching the paper's architecture.
+        Full-system rebuild; the incremental engine edits in place via
+        :meth:`replace_at`/:meth:`remove_at` instead.  Kept for callers
+        that genuinely replace the whole master copy.
         """
         self._polys = []
-        self._poly_set = set()
+        self._index = {}
         self._occurrence = {}
         for p in polynomials:
             self.add(p)
@@ -237,31 +341,35 @@ class AnfSystem:
 
     def normalize(self, p: Poly) -> Poly:
         """Rewrite ``p`` under the current values and equivalence literals."""
+        state = self.state
+        touched = state._touched
+        vs = p.variables()
+        if touched.isdisjoint(vs):
+            return p
         mapping: Dict[int, Poly] = {}
-        for v in p.variables():
-            sub = self.state.substitution_for(v)
-            if sub is not None:
-                mapping[v] = sub
+        for v in vs:
+            if v in touched:
+                sub = state.substitution_for(v)
+                if sub is not None:
+                    mapping[v] = sub
         if not mapping:
             return p
         return p.substitute_many(mapping)
 
     def copy(self) -> "AnfSystem":
-        """Deep-enough copy: fresh state/occurrence, shared immutable polys."""
-        other = AnfSystem(self.ring.clone())
-        other.state.ensure(self.state.n_vars - 1 if self.state.n_vars else 0)
-        for v in range(self.state.n_vars):
-            val = self.state.value(v)
-            if val is not None:
-                other.state.ensure(v)
-                other.state.assign(v, val)
-            else:
-                root, parity = self.state.find(v)
-                if root != v:
-                    other.state.ensure(max(v, root))
-                    other.state.equate(v, root, parity)
-        for p in self._polys:
-            other.add(p)
+        """Deep-enough copy: fresh state/occurrence, shared immutable polys.
+
+        Copies the internal structures directly (no per-polynomial
+        re-insertion), so a scratch copy for probing costs one pass over
+        the stored data rather than a full occurrence-list rebuild.
+        """
+        other = AnfSystem.__new__(AnfSystem)
+        other.ring = self.ring.clone()
+        other.state = self.state.clone()
+        other._polys = list(self._polys)
+        other._index = dict(self._index)
+        other._occurrence = {v: set(s) for v, s in self._occurrence.items()}
+        other._linear_nofact_memo = self._linear_nofact_memo
         return other
 
     def check_assignment(self, assignment) -> bool:

@@ -219,8 +219,14 @@ class Bosphorus:
         candidates: Sequence[Poly],
         source: str,
     ) -> int:
-        """Fold learnt facts into the master copy, then propagate."""
+        """Fold learnt facts into the master copy, then propagate.
+
+        Propagation is incremental: only the newly inserted equations (and
+        whatever they dirty through the occurrence lists) are revisited,
+        so a batch of k facts costs O(closure of k), not O(system).
+        """
         added = 0
+        fresh: List[Poly] = []
         for fact in candidates:
             if fact.is_one():
                 raise ContradictionError("learnt the contradiction 1 = 0")
@@ -230,10 +236,11 @@ class Bosphorus:
             if normalized.is_one():
                 raise ContradictionError("learnt the contradiction 1 = 0")
             if facts.add(normalized, source):
-                system.add(normalized)
+                if system.add(normalized):
+                    fresh.append(normalized)
                 added += 1
-        if added:
-            propagate(system)
+        if fresh:
+            propagate(system, dirty=fresh)
         return added
 
     def _unsat_result(self, facts, iterations, ring, stats=None) -> BosphorusResult:

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..anf.polynomial import Poly
+from ..anf import monomial as mono
+from ..anf.polynomial import Poly, PolyBuilder
 from ..anf.ring import Ring
 from ..sat.dimacs import CnfFormula
 from ..sat.types import lit_sign, lit_var, mk_lit
@@ -43,17 +44,26 @@ def clause_to_poly(lits: Sequence[int]) -> Poly:
 
     ``¬x1 ∨ x2`` becomes ``x1 * (x2 + 1) = x1x2 + x1`` — the polynomial is
     1 exactly on the clause-violating assignment(s).
+
+    The negated literals contribute one base monomial; each positive
+    literal contributes a ``(v + 1)`` factor, i.e. a subset expansion.
+    The whole product is accumulated in one :class:`PolyBuilder` instead
+    of a chain of intermediate ``Poly`` allocations.
     """
-    product = Poly.one()
+    base: List[int] = []
+    expand = set()
     for l in lits:
         v = lit_var(l)
-        factor = Poly.variable(v)
-        if not lit_sign(l):  # positive literal: false when the var is 0
-            factor = factor + Poly.one()
-        product = product * factor
-        if product.is_zero():
-            break
-    return product
+        if lit_sign(l):  # negated literal: false when the var is 1
+            base.append(v)
+        else:  # positive literal: false when the var is 0
+            expand.add(v)
+    products = mono.expand_negated(mono.make(base), expand)
+    if not products:
+        return Poly.zero()  # v * (v + 1) = 0: tautological clause
+    builder = PolyBuilder()
+    builder.add_monomials(products)
+    return builder.build()
 
 
 def _count_positive(lits: Sequence[int]) -> int:

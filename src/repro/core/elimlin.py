@@ -11,6 +11,7 @@ ideal), so they are exactly ElimLin's learnt facts.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -31,10 +32,9 @@ class ElimLinResult:
 
 
 def _occurrence_counts(polys: Sequence[Poly]) -> Dict[int, int]:
-    counts: Dict[int, int] = {}
+    counts: Counter = Counter()
     for p in polys:
-        for v in p.variables():
-            counts[v] = counts.get(v, 0) + 1
+        counts.update(p.variables())
     return counts
 
 

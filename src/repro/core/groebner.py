@@ -52,7 +52,7 @@ def normal_form(p: Poly, basis: Sequence[Poly]) -> Poly:
             if not mono.divides(glm, lm):
                 continue
             multiplier = tuple(v for v in lm if v not in glm)
-            lifted = Poly.from_monomial(multiplier) * g
+            lifted = g.mul_monomial(multiplier)
             if lifted.is_zero() or lifted.leading_monomial() != lm:
                 continue  # Boolean collapse: this reducer cannot fire
             work = work + lifted
@@ -71,7 +71,7 @@ def s_polynomial(f: Poly, g: Poly) -> Poly:
     l = mono.lcm(lf, lg)
     uf = tuple(v for v in l if v not in lf)
     ug = tuple(v for v in l if v not in lg)
-    return Poly.from_monomial(uf) * f + Poly.from_monomial(ug) * g
+    return f.mul_monomial(uf) + g.mul_monomial(ug)
 
 
 def buchberger(

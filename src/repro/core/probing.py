@@ -47,23 +47,36 @@ def _scratch(system: AnfSystem) -> AnfSystem:
 
 
 def _branch(system: AnfSystem, var: int, value: int) -> Optional[VariableState]:
-    """Propagate ``var = value`` on a scratch copy; None on contradiction."""
+    """Propagate ``var = value`` on a scratch copy; None on contradiction.
+
+    The master system is at propagation fixpoint when probing runs, so
+    only the equations mentioning the assumed variable (or its
+    equivalence-class root) can change — the incremental dirty-set call
+    makes each probe cost the assumption's cone, not the whole system.
+    """
     scratch = _scratch(system)
     scratch.state.ensure(var)
     try:
         scratch.state.assign(var, value)
-        propagate(scratch)
+        root, _ = scratch.state.find(var)
+        dirty = set(scratch.occurrences(var)) | set(scratch.occurrences(root))
+        propagate(scratch, dirty=dirty, linear=False)
     except ContradictionError:
         return None
     return scratch.state
 
 
 def _candidate_variables(system: AnfSystem, limit: int) -> List[int]:
-    """Most-occurring undetermined variables (the useful probe targets)."""
-    counts: Dict[int, int] = {}
-    for p in system.polynomials:
-        for v in p.variables():
-            counts[v] = counts.get(v, 0) + 1
+    """Most-occurring undetermined variables (the useful probe targets).
+
+    Ranked straight off the system's persistent occurrence lists — no
+    O(system) recount.
+    """
+    counts = {
+        v: system.occurrence_count(v)
+        for v in range(system.ring.n_vars)
+        if system.occurrence_count(v)
+    }
     order = sorted(counts, key=lambda v: -counts[v])
     out = []
     for v in order:

@@ -116,7 +116,7 @@ def run_xl(
     if size_ok():
         for p in sorted(sample, key=lambda q: q.degree()):
             for m in multipliers:
-                q = p * Poly.from_monomial(m)
+                q = p.mul_monomial(m)
                 if not q.is_zero():
                     push(q)
                 if not size_ok():

@@ -36,15 +36,20 @@ def par2_score(
     """Score a list of ``(verdict, seconds)`` runs.
 
     ``verdict`` is True (SAT), False (UNSAT) or None (unsolved/timeout).
+
+    Under the SAT-Competition convention a verdict only counts if it
+    arrived *within* the timeout: a run that answered after the limit is
+    scored exactly like a timeout (2 x timeout penalty) and is not
+    counted as solved.
     """
     total = 0.0
     solved_sat = 0
     solved_unsat = 0
     for verdict, seconds in results:
-        if verdict is None:
+        if verdict is None or seconds > timeout:
             total += 2.0 * timeout
         else:
-            total += min(seconds, timeout)
+            total += seconds
             if verdict:
                 solved_sat += 1
             else:

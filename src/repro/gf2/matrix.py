@@ -8,9 +8,12 @@ is what makes XL and ElimLin usable from pure Python.
 
 from __future__ import annotations
 
+import sys
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 class GF2Matrix:
@@ -29,23 +32,60 @@ class GF2Matrix:
 
     @staticmethod
     def from_rows(rows: Sequence[Iterable[int]], n_cols: int) -> "GF2Matrix":
-        """Build from an iterable of rows, each a set/list of 1-column indices."""
+        """Build from an iterable of rows, each a set/list of 1-column indices.
+
+        Vectorised: all (row, column) pairs are flattened once and OR-ed
+        into the packed words with a single ufunc call (duplicate column
+        indices within a row collapse, as before).
+        """
         m = GF2Matrix(len(rows), n_cols)
+        row_idx: List[int] = []
+        col_idx: List[int] = []
         for i, cols in enumerate(rows):
             for j in cols:
-                m.set(i, j, 1)
+                row_idx.append(i)
+                col_idx.append(j)
+        if not col_idx:
+            return m
+        ri = np.asarray(row_idx, dtype=np.intp)
+        cj = np.asarray(col_idx, dtype=np.intp)
+        bad = (cj < 0) | (cj >= n_cols)
+        if bad.any():
+            raise IndexError(
+                "({}, {}) out of range".format(
+                    int(ri[bad][0]), int(cj[bad][0])
+                )
+            )
+        masks = np.uint64(1) << (cj & 63).astype(np.uint64)
+        np.bitwise_or.at(m._data, (ri, cj >> 6), masks)
         return m
 
     @staticmethod
     def from_dense(array) -> "GF2Matrix":
-        """Build from a dense 0/1 array-like (list of lists or ndarray)."""
+        """Build from a dense 0/1 array-like (list of lists or ndarray).
+
+        Vectorised through ``np.packbits`` (little-endian bit order packs
+        straight into our 64-bit words); ragged input is rejected by
+        ``np.asarray`` exactly as before.
+        """
         arr = np.asarray(array, dtype=np.uint8) & 1
         if arr.ndim != 2:
             raise ValueError("expected a 2-D array")
         m = GF2Matrix(arr.shape[0], arr.shape[1])
-        for i in range(arr.shape[0]):
-            for j in np.nonzero(arr[i])[0]:
-                m.set(i, int(j), 1)
+        if arr.size == 0:
+            return m
+        if _LITTLE_ENDIAN:
+            packed = np.packbits(arr, axis=1, bitorder="little")
+            pad = m._data.shape[1] * 8 - packed.shape[1]
+            if pad:
+                packed = np.pad(packed, ((0, 0), (0, pad)))
+            m._data = (
+                np.ascontiguousarray(packed).view(np.uint64).reshape(arr.shape[0], -1)
+            )
+        else:  # pragma: no cover - big-endian fallback, element at a time
+            for i in range(arr.shape[0]):
+                for j in np.nonzero(arr[i])[0]:
+                    m.set(i, int(j), 1)
         return m
 
     @staticmethod
@@ -101,6 +141,16 @@ class GF2Matrix:
                 out.append(base + low.bit_length() - 1)
                 word ^= low
         return out
+
+    def row_weights(self) -> "np.ndarray":
+        """Number of 1-entries per row, vectorised (one popcount pass)."""
+        bytes_view = self._data.view(np.uint8)
+        return np.unpackbits(bytes_view, axis=1).sum(axis=1, dtype=np.int64)
+
+    def rows_with_weight_at_most(self, k: int) -> List[int]:
+        """Indices of non-zero rows with at most ``k`` ones (ascending)."""
+        w = self.row_weights()
+        return [int(i) for i in np.nonzero((w > 0) & (w <= k))[0]]
 
     def row_is_zero(self, i: int) -> bool:
         """True if row ``i`` is all zeros."""

@@ -42,9 +42,27 @@ def test_par2_unsolved_penalty():
     assert line.solved == 0
 
 
-def test_par2_time_clamped_to_timeout():
+def test_par2_over_timeout_verdict_is_unsolved():
+    # SAT-Competition convention: an answer after the limit does not
+    # count — it scores the full 2x penalty and is not "solved".
     line = par2_score([(True, 99.0)], timeout=10)
+    assert line.par2 == pytest.approx(20.0)
+    assert line.solved == 0
+
+
+def test_par2_exactly_at_timeout_still_counts():
+    line = par2_score([(False, 10.0)], timeout=10)
     assert line.par2 == pytest.approx(10.0)
+    assert line.solved_unsat == 1
+
+
+def test_par2_mixed_over_and_under_timeout():
+    line = par2_score(
+        [(True, 3.0), (True, 11.5), (False, 2.0), (None, 4.0)], timeout=10
+    )
+    # 3.0 + 20.0 (late SAT) + 2.0 + 20.0 (timeout)
+    assert line.par2 == pytest.approx(45.0)
+    assert line.solved_sat == 1 and line.solved_unsat == 1
 
 
 def test_score_format_matches_paper_style():

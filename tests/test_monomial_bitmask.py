@@ -1,0 +1,147 @@
+"""Bitmask fast path vs tuple fallback equivalence for monomials.
+
+The monomial layer shadows every monomial below ``MASK_BITS`` variables
+with an int bitmask and routes mul/divides/lcm/remove through bitwise
+ops.  These property tests pin the fast path to the pure-tuple semantics,
+including monomials that straddle the 64-variable boundary (where one
+operand is masked and the other is not).
+"""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.anf import monomial as mono
+from repro.anf.polynomial import Poly
+
+# Variable universes below, above, and straddling the mask boundary.
+small_vars = st.lists(st.integers(0, mono.MASK_BITS - 1), max_size=8)
+wide_vars = st.lists(st.integers(0, mono.MASK_BITS + 40), max_size=8)
+
+
+def tuple_mul(a, b):
+    """Reference implementation: sorted union of variable sets."""
+    return tuple(sorted(set(a) | set(b)))
+
+
+def tuple_divides(a, b):
+    return set(a).issubset(set(b))
+
+
+# -- reference equivalence ----------------------------------------------------
+
+
+@given(wide_vars, wide_vars)
+def test_mul_matches_tuple_reference(a, b):
+    ma, mb = mono.make(a), mono.make(b)
+    assert mono.mul(ma, mb) == tuple_mul(ma, mb)
+
+
+@given(wide_vars, wide_vars)
+def test_divides_matches_tuple_reference(a, b):
+    ma, mb = mono.make(a), mono.make(b)
+    assert mono.divides(ma, mb) == tuple_divides(ma, mb)
+
+
+@given(wide_vars, wide_vars)
+def test_lcm_matches_tuple_reference(a, b):
+    ma, mb = mono.make(a), mono.make(b)
+    assert mono.lcm(ma, mb) == tuple_mul(ma, mb)
+
+
+@given(wide_vars)
+def test_remove_matches_tuple_reference(a):
+    m = mono.make(a)
+    for v in m:
+        assert mono.remove(m, v) == tuple(x for x in m if x != v)
+
+
+@given(small_vars, st.lists(st.integers(mono.MASK_BITS, mono.MASK_BITS + 20), max_size=4))
+def test_mul_across_mask_boundary(small, big):
+    """Masked x unmasked operands still produce the sorted-tuple union."""
+    ma, mb = mono.make(small), mono.make(big)
+    assert mono.mask_of(ma) >= 0
+    if mb:
+        assert mono.mask_of(mb) == -1
+    assert mono.mul(ma, mb) == tuple_mul(ma, mb)
+    assert mono.mul(mb, ma) == tuple_mul(ma, mb)
+
+
+# -- mask round trips ---------------------------------------------------------
+
+
+@given(small_vars)
+def test_mask_round_trip(a):
+    m = mono.make(a)
+    mask = mono.mask_of(m)
+    assert mask >= 0
+    assert mono.from_mask(mask) == m
+    # Interned result is identity-stable.
+    assert mono.intern(m) is mono.from_mask(mask)
+
+
+def test_mask_of_wide_monomial_is_sentinel():
+    m = mono.make([1, mono.MASK_BITS + 3])
+    assert mono.mask_of(m) == -1
+    assert mono.intern(m) == m
+
+
+def test_from_mask_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        mono.from_mask(-1)
+    with pytest.raises(ValueError):
+        mono.from_mask(1 << mono.MASK_BITS)
+
+
+def test_raw_tuples_interoperate_with_interned():
+    """Raw tuples built by callers compare and hash like interned ones."""
+    raw = (2, 5)
+    interned = mono.make([5, 2])
+    assert raw == interned
+    assert hash(raw) == hash(interned)
+    assert mono.mul(raw, (3,)) == (2, 3, 5)
+
+
+# -- polynomial-level round trip ---------------------------------------------
+
+
+def test_random_polynomial_products_match_reference():
+    """Poly arithmetic over masked monomials matches a set-based oracle."""
+    rng = random.Random(42)
+
+    def rand_poly(n_vars, n_terms):
+        return Poly(
+            mono.make(rng.sample(range(n_vars), rng.randint(0, 3)))
+            for _ in range(n_terms)
+        )
+
+    def oracle_mul(p, q):
+        acc = set()
+        for a in p.monomials:
+            for b in q.monomials:
+                m = tuple_mul(a, b)
+                acc.symmetric_difference_update({m})
+        return acc
+
+    for n_vars in (10, 63, 100):  # below, at, and above the boundary
+        for _ in range(50):
+            p, q = rand_poly(n_vars, 4), rand_poly(n_vars, 4)
+            assert (p * q).monomials == frozenset(oracle_mul(p, q))
+
+
+def test_poly_evaluate_agrees_across_boundary():
+    rng = random.Random(7)
+    n_vars = mono.MASK_BITS + 10
+    for _ in range(30):
+        p = Poly(
+            mono.make(rng.sample(range(n_vars), rng.randint(0, 3)))
+            for _ in range(5)
+        )
+        assignment = [rng.randint(0, 1) for _ in range(n_vars)]
+        # Oracle: evaluate monomial-by-monomial with plain sets.
+        want = 0
+        for m in p.monomials:
+            want ^= int(all(assignment[v] for v in m))
+        assert p.evaluate(assignment) == want
