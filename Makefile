@@ -3,11 +3,16 @@
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke
+.PHONY: test test-fast bench bench-smoke
 
 # Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+# Developer inner loop: everything except the `slow`-marked
+# cipher-scale tests (see pytest.ini).
+test-fast:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q -m "not slow"
 
 # Full benchmark run (slow; honours REPRO_BENCH_COUNT / REPRO_BENCH_TIMEOUT).
 bench:

@@ -16,7 +16,12 @@ from .parser import (
 )
 from .polynomial import Poly, PolyBuilder
 from .ring import Ring
-from .stats import SystemStats, describe_system
+from .stats import (
+    SystemStats,
+    describe_system,
+    mask_fallback_hits,
+    reset_mask_fallback_hits,
+)
 from .system import AnfSystem, ContradictionError, VariableState
 
 __all__ = [
@@ -24,6 +29,8 @@ __all__ = [
     "Monomial",
     "SystemStats",
     "describe_system",
+    "mask_fallback_hits",
+    "reset_mask_fallback_hits",
     "Poly",
     "PolyBuilder",
     "Ring",

@@ -10,14 +10,33 @@ Tuples (rather than frozensets) keep a total order for free, which gives
 us deterministic iteration and a ready-made degree-lexicographic
 comparison for the Groebner-basis code.
 
-Bitmask fast path
------------------
-Internally every monomial whose variables all fit below :data:`MASK_BITS`
-is shadowed by an int bitmask (bit ``v`` set iff ``x_v`` divides the
-monomial), and the hot operations — :func:`mul`, :func:`divides`,
-:func:`lcm` — collapse to single bitwise ops on those masks.  Monomials
-with a variable at or above :data:`MASK_BITS` fall back to the original
-sorted-tuple merge, so behaviour is identical across the boundary.
+Width-adaptive bitmask representation
+-------------------------------------
+Every monomial is shadowed by an int bitmask (bit ``v`` set iff ``x_v``
+divides the monomial), and the hot operations — :func:`mul`,
+:func:`divides`, :func:`lcm`, :func:`remove` — are single bitwise ops on
+those masks **at any width**.  There is no variable-count ceiling: masks
+for systems of at most :data:`LIMB_BITS` variables fit one machine word
+(CPython's small-int fast path), and wider systems transparently become
+multi-limb big ints whose bitwise ops are branch-free C loops over
+:data:`LIMB_BITS`-bit limbs.  The limb stride is the same 64-bit packed
+word layout :class:`~repro.gf2.matrix.GF2Matrix` uses; :func:`mask_words`
+/ :func:`mask_from_words` convert between the two without re-encoding
+bit by bit.
+
+Invariants (the width-adaptive contract):
+
+* ``mask_of`` is *total* on valid monomials — every tuple of
+  non-negative variable indices has a mask, and a negative index raises
+  ``ValueError`` on every path (mask or oracle, :func:`make` or
+  :func:`mask_of`).
+* The historical sorted-tuple merge implementations survive only as a
+  *debug oracle*: :func:`tuple_oracle` flips the module onto them so the
+  differential tests can cross-check the mask path, and every execution
+  of a tuple-path op increments the fallback counter
+  (:func:`fallback_hits`).  Production runs assert the counter stays at
+  zero — cipher-scale systems (hundreds to thousands of variables) ride
+  the bitwise path end to end.
 
 Masks and their tuples are *interned*: :func:`make`, :func:`mul` and
 friends return a canonical tuple object per distinct monomial, so hot
@@ -29,27 +48,91 @@ equal to interned ones and may be passed to every function here.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 Monomial = Tuple[int, ...]
 
 #: The constant monomial ``1`` (the product of zero variables).
 ONE: Monomial = ()
 
-#: Variables below this index ride the int-bitmask fast path; the rest
-#: use the tuple fallback.  Lifting this limit (gmpy2 / numpy words) is a
-#: ROADMAP open item.
-MASK_BITS = 64
+#: The limb stride of the mask encoding: masks are little-endian arrays
+#: of 64-bit words (CPython big ints expose exactly this through
+#: :func:`mask_words`), matching ``gf2.matrix``'s packed ``uint64`` rows.
+LIMB_BITS = 64
 
-_MASK_LIMIT = 1 << MASK_BITS
+#: Backwards-compatible alias from the single-word era.  Masks are no
+#: longer limited to this width — it now only names the one-limb stride.
+MASK_BITS = LIMB_BITS
 
 # Interning tables.  ``_mask_of`` maps a (canonical or raw) tuple to its
-# bitmask, or -1 when some variable is >= MASK_BITS.  ``_tuple_of`` maps a
-# bitmask back to the canonical tuple.  Both grow with the distinct
-# monomials actually seen, which in practice is bounded by the XL column
-# count — tens of thousands, not millions.
+# bitmask; ``_tuple_of`` maps a bitmask back to the canonical tuple.
+# Both grow with the distinct monomials actually seen, which in practice
+# is bounded by the XL column count — tens of thousands, not millions.
 _mask_of: Dict[Monomial, int] = {ONE: 0}
 _tuple_of: Dict[int, Monomial] = {0: ONE}
+
+#: Clear the interning tables when they pass this many entries.  The
+#: tables are pure caches, so clearing only costs re-interning; the cap
+#: keeps long experiment sweeps (many instances per process) bounded.
+_INTERN_CAP = 1 << 20
+
+# Debug-oracle state.  ``_use_masks`` is flipped by :func:`tuple_oracle`
+# only; ``_fallback_hits`` counts every execution of a tuple-path op, so
+# tests and benches can assert the bitwise path handled everything.
+_use_masks = True
+_fallback_hits = 0
+
+
+def fallback_hits() -> int:
+    """How many ops ran on the sorted-tuple oracle path so far.
+
+    Stays at zero for production runs at any width; the counter moves
+    only inside :func:`tuple_oracle` (or if a future regression
+    reintroduces a genuine fallback).  Snapshot before / after a run and
+    assert a zero delta to pin "no tuple fallbacks" — the Bosphorus
+    workflow records exactly that delta in its result stats.
+    """
+    return _fallback_hits
+
+
+def reset_fallback_hits() -> None:
+    """Reset the fallback counter to zero (test isolation helper)."""
+    global _fallback_hits
+    _fallback_hits = 0
+
+
+def masks_enabled() -> bool:
+    """True unless inside :func:`tuple_oracle`.
+
+    The polynomial layer consults this to pick between its mask-native
+    substitution kernels and the legacy per-variable loops (kept as the
+    oracle implementation for the differential harness).
+    """
+    return _use_masks
+
+
+@contextmanager
+def tuple_oracle():
+    """Route mul/divides/lcm/remove/make/intern through the tuple oracle.
+
+    The oracle is the pre-mask sorted-tuple merge implementation —
+    uncached, allocation-per-op — kept as the reference semantics for
+    the differential harness and the wide-path benchmarks.  Results are
+    equal (``==``) to mask-path results, but not interned.
+    """
+    global _use_masks
+    prev = _use_masks
+    _use_masks = False
+    try:
+        yield
+    finally:
+        _use_masks = prev
+
+
+def _check_var(v: int) -> None:
+    if v < 0:
+        raise ValueError("negative variable index: {}".format(v))
 
 
 def _tuple_from_mask(mask: int) -> Monomial:
@@ -57,40 +140,43 @@ def _tuple_from_mask(mask: int) -> Monomial:
     cached = _tuple_of.get(mask)
     if cached is not None:
         return cached
-    out = []
-    m = mask
-    while m:
-        low = m & -m
-        out.append(low.bit_length() - 1)
-        m ^= low
-    t = tuple(out)
+    t = tuple(bits_of(mask))
+    if len(_mask_of) > _INTERN_CAP:
+        _mask_of.clear()
+        _tuple_of.clear()
+        _mask_of[ONE] = 0
+        _tuple_of[0] = ONE
     _tuple_of[mask] = t
     _mask_of[t] = mask
     return t
 
 
-#: Clear the interning tables when they pass this many entries.  The
-#: tables are pure caches, so clearing only costs re-interning; the cap
-#: keeps long experiment sweeps (many instances per process) bounded.
-_INTERN_CAP = 1 << 20
+def bits_of(mask: int) -> List[int]:
+    """The set-bit indices of a mask, ascending (inverse of OR-ing
+    ``1 << v``).  Works at any width."""
+    out: List[int] = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
 
 
 def mask_of(m: Monomial) -> int:
-    """The bitmask shadow of ``m``, or -1 if it exceeds :data:`MASK_BITS`.
+    """The bitmask shadow of ``m`` — total at any width.
 
-    Exposed for the propagation engine and tests; most callers should use
-    the arithmetic helpers, which consult the cache themselves.  Wide
-    monomials (the -1 case) are deliberately *not* cached: their universe
-    is unbounded (XL expansion, probing scratch copies), and the rescan
-    costs no more than the tuple fallback the caller takes anyway.
+    Exposed for the propagation engine, the support-mask caches on
+    :class:`~repro.anf.polynomial.Poly` and tests; most callers should
+    use the arithmetic helpers, which consult the cache themselves.
+    Raises ``ValueError`` on a negative variable index.
     """
     cached = _mask_of.get(m)
     if cached is not None:
         return cached
     mask = 0
     for v in m:
-        if v >= MASK_BITS or v < 0:
-            return -1
+        if v < 0:
+            _check_var(v)
         mask |= 1 << v
     if len(_mask_of) > _INTERN_CAP:
         _mask_of.clear()
@@ -103,33 +189,89 @@ def mask_of(m: Monomial) -> int:
 
 def from_mask(mask: int) -> Monomial:
     """The canonical tuple for a bitmask (inverse of :func:`mask_of`)."""
-    if not 0 <= mask < _MASK_LIMIT:
-        raise ValueError("mask out of range for {} variables".format(MASK_BITS))
+    if mask < 0:
+        raise ValueError("mask must be non-negative")
     return _tuple_from_mask(mask)
+
+
+def mask_words(mask: int, n_words: int = 0) -> List[int]:
+    """Split a mask into little-endian :data:`LIMB_BITS`-bit limbs.
+
+    The layout matches one packed row of
+    :class:`~repro.gf2.matrix.GF2Matrix` (``uint64`` words, bit ``j`` of
+    word ``w`` = variable ``64*w + j``).  ``n_words`` pads (or checks)
+    the length; 0 means "just enough words".
+    """
+    if mask < 0:
+        raise ValueError("mask must be non-negative")
+    need = max(1, -(-mask.bit_length() // LIMB_BITS))
+    if n_words:
+        if need > n_words:
+            raise ValueError(
+                "mask needs {} words, got n_words={}".format(need, n_words)
+            )
+        need = n_words
+    word = (1 << LIMB_BITS) - 1
+    out = []
+    for _ in range(need):
+        out.append(mask & word)
+        mask >>= LIMB_BITS
+    return out
+
+
+def mask_from_words(words: Iterable[int]) -> int:
+    """Reassemble a mask from little-endian limbs (inverse of
+    :func:`mask_words`)."""
+    mask = 0
+    for i, w in enumerate(words):
+        if not 0 <= w < (1 << LIMB_BITS):
+            raise ValueError("word {} out of range".format(i))
+        mask |= w << (i * LIMB_BITS)
+    return mask
+
+
+def assignment_mask(assignment: Sequence[int]) -> int:
+    """Pack a 0/1 assignment sequence into a mask (bit ``v`` = value of
+    ``x_v``), for the mask-based evaluation fast path."""
+    mask = 0
+    for v, val in enumerate(assignment):
+        if val:
+            mask |= 1 << v
+    return mask
 
 
 def intern(m: Monomial) -> Monomial:
     """The canonical shared tuple equal to ``m`` (identity-stable)."""
-    mask = mask_of(m)
-    if mask < 0:
+    if not _use_masks:
+        global _fallback_hits
+        _fallback_hits += 1
+        for v in m:
+            _check_var(v)
         return m
-    return _tuple_from_mask(mask)
+    return _tuple_from_mask(mask_of(m))
 
 
 def make(variables: Iterable[int]) -> Monomial:
     """Build a monomial from an iterable of variable indices.
 
     Duplicates collapse (``x * x = x`` in the Boolean ring) and the result
-    is sorted so equal monomials compare equal.
+    is sorted so equal monomials compare equal.  A negative index raises
+    ``ValueError`` (uniformly, on the mask and oracle paths).
 
     >>> make([3, 1, 3])
     (1, 3)
     """
-    vs = variables if isinstance(variables, (tuple, list)) else list(variables)
+    if not _use_masks:
+        global _fallback_hits
+        _fallback_hits += 1
+        vs = sorted(set(variables))
+        if vs and vs[0] < 0:
+            _check_var(vs[0])
+        return tuple(vs)
     mask = 0
-    for v in vs:
-        if v >= MASK_BITS or v < 0:
-            return tuple(sorted(set(vs)))
+    for v in variables:
+        if v < 0:
+            _check_var(v)
         mask |= 1 << v
     return _tuple_from_mask(mask)
 
@@ -140,7 +282,7 @@ def degree(m: Monomial) -> int:
 
 
 def mul(a: Monomial, b: Monomial) -> Monomial:
-    """Product of two monomials (variable-set union).
+    """Product of two monomials (variable-set union): one OR on masks.
 
     >>> mul((1, 2), (2, 3))
     (1, 2, 3)
@@ -149,12 +291,11 @@ def mul(a: Monomial, b: Monomial) -> Monomial:
         return b
     if not b:
         return a
-    ma = mask_of(a)
-    if ma >= 0:
-        mb = mask_of(b)
-        if mb >= 0:
-            return _tuple_from_mask(ma | mb)
-    # Tuple fallback: merge two sorted tuples, dropping duplicates.
+    if _use_masks:
+        return _tuple_from_mask(mask_of(a) | mask_of(b))
+    # Debug oracle: merge two sorted tuples, dropping duplicates.
+    global _fallback_hits
+    _fallback_hits += 1
     out = []
     i = j = 0
     la, lb = len(a), len(b)
@@ -181,29 +322,49 @@ def contains(m: Monomial, var: int) -> bool:
 
 
 def divides(a: Monomial, b: Monomial) -> bool:
-    """True if monomial ``a`` divides monomial ``b`` (subset of variables)."""
+    """True if monomial ``a`` divides monomial ``b`` (subset of variables):
+    ``a & b == a`` on masks."""
     if len(a) > len(b):
         return False
-    ma = mask_of(a)
-    if ma >= 0:
-        mb = mask_of(b)
-        if mb >= 0:
-            return ma & mb == ma
+    if _use_masks:
+        ma = mask_of(a)
+        return ma & mask_of(b) == ma
+    global _fallback_hits
+    _fallback_hits += 1
     bs = set(b)
     return all(v in bs for v in a)
 
 
 def remove(m: Monomial, var: int) -> Monomial:
     """The monomial with ``var`` divided out; ``m`` must contain ``var``."""
-    mask = mask_of(m)
-    if mask >= 0 and var < MASK_BITS:
-        return _tuple_from_mask(mask & ~(1 << var))
+    _check_var(var)
+    if _use_masks:
+        return _tuple_from_mask(mask_of(m) & ~(1 << var))
+    global _fallback_hits
+    _fallback_hits += 1
     return tuple(v for v in m if v != var)
 
 
 def lcm(a: Monomial, b: Monomial) -> Monomial:
     """Least common multiple (same as the product in a Boolean ring)."""
     return mul(a, b)
+
+
+def expand_negated_mask(base_mask: int, negated: Iterable[int]) -> List[int]:
+    """Mask form of :func:`expand_negated`: monomial masks of
+    ``base * Π_y (x_y + 1)``.
+
+    Each negated factor doubles the list with one OR per entry; the
+    result is empty when some ``y`` already divides the base
+    (``y * (y + 1) = 0``).  Works at any width.
+    """
+    out = [base_mask]
+    for y in set(negated):
+        bit = 1 << y
+        if base_mask & bit:
+            return []
+        out += [m | bit for m in out]
+    return out
 
 
 def expand_negated(base: Monomial, negated: Iterable[int]) -> list:
@@ -228,7 +389,9 @@ def evaluate(m: Monomial, assignment) -> int:
     """Evaluate the monomial under a variable assignment.
 
     ``assignment`` may be a mapping or a sequence indexed by variable.
-    Returns 0 or 1.
+    Returns 0 or 1.  For many evaluations against one fixed assignment,
+    pack it once with :func:`assignment_mask` and use
+    :func:`evaluate_mask` instead.
     """
     for v in m:
         if not assignment[v]:
@@ -236,6 +399,24 @@ def evaluate(m: Monomial, assignment) -> int:
     return 1
 
 
+def evaluate_mask(mask: int, amask: int) -> int:
+    """Evaluate a monomial *mask* under a packed assignment mask.
+
+    The monomial is 1 exactly when all its variables are — i.e. its mask
+    is a subset of the assignment mask.
+    """
+    return 1 if mask & amask == mask else 0
+
+
 def deglex_key(m: Monomial):
-    """Sort key for degree-lexicographic monomial order (used by Buchberger)."""
+    """Sort key for degree-lexicographic monomial order (used by Buchberger).
+
+    The key is the canonical tuple itself prefixed by its degree; tuple
+    comparison is a C-level loop, and for equal-degree monomials numeric
+    mask order does *not* agree with deglex, so the tuple stays the
+    canonical comparison object at every width.
+    """
+    if not _use_masks:
+        global _fallback_hits
+        _fallback_hits += 1
     return (len(m), m)

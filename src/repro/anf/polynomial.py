@@ -10,15 +10,19 @@ Design notes
 * The internal representation is a ``frozenset`` of monomials (sorted int
   tuples, see :mod:`repro.anf.monomial`).  XOR of polynomials is then the
   symmetric difference of sets, which Python does natively and fast.  The
-  monomials themselves are interned tuples shadowed by int bitmasks, so
-  the monomial products inside :meth:`Poly.__mul__` and the substitution
-  methods are single bitwise ops for systems under 64 variables.
-* ``Poly`` memoises its hash, total degree and variable support.  Degree
-  and support are asked for constantly by the propagation engine, the
-  occurrence-list bookkeeping in :class:`~repro.anf.system.AnfSystem` and
-  the fact classifiers, so they are computed once per value object rather
-  than per call.  ``variables()`` returns the cached frozenset — callers
-  must treat it as read-only.
+  monomials themselves are interned tuples shadowed by width-adaptive int
+  bitmasks, so the monomial products inside :meth:`Poly.__mul__` and the
+  substitution methods are single bitwise ops at any variable count —
+  cipher-scale systems (hundreds to thousands of variables) included.
+* ``Poly`` memoises its hash, total degree, variable support and the
+  *support mask* (the OR of its monomials' bitmasks).  Degree and support
+  are asked for constantly by the propagation engine, the occurrence-list
+  bookkeeping in :class:`~repro.anf.system.AnfSystem` and the fact
+  classifiers, so they are computed once per value object rather than per
+  call; :meth:`Poly.support_mask` is what lets ``AnfSystem.normalize``
+  test "does any touched variable occur here" with one bitwise AND.
+  ``variables()`` returns the cached frozenset — callers must treat it as
+  read-only.
 * Polynomials are value objects.  All "mutation" in the rest of the code
   base (propagation, substitution, ElimLin) builds new polynomials, which
   mirrors the paper's design where only ANF propagation replaces the
@@ -42,7 +46,7 @@ from .monomial import Monomial
 class Poly:
     """An immutable Boolean polynomial (XOR of monomials) over GF(2)."""
 
-    __slots__ = ("_monomials", "_hash", "_degree", "_vars")
+    __slots__ = ("_monomials", "_hash", "_degree", "_vars", "_smask", "_mmasks")
 
     def __init__(self, monomials: Iterable[Monomial] = ()):
         """Build a polynomial from monomials, cancelling pairs mod 2.
@@ -60,6 +64,8 @@ class Poly:
         self._hash: Optional[int] = None
         self._degree: Optional[int] = None
         self._vars: Optional[FrozenSet[int]] = None
+        self._smask: Optional[int] = None
+        self._mmasks: Optional[list] = None
 
     @staticmethod
     def _from_frozenset(monomials: FrozenSet[Monomial]) -> "Poly":
@@ -69,6 +75,8 @@ class Poly:
         p._hash = None
         p._degree = None
         p._vars = None
+        p._smask = None
+        p._mmasks = None
         return p
 
     # -- constructors ------------------------------------------------------
@@ -147,15 +155,53 @@ class Poly:
         """The set of variable indices occurring in the polynomial.
 
         Cached and shared — treat the returned frozenset as read-only.
+        Decoded from :meth:`support_mask`, so the two views always agree.
         """
         vs = self._vars
         if vs is None:
-            out: Set[int] = set()
-            for m in self._monomials:
-                out.update(m)
-            vs = frozenset(out)
+            vs = frozenset(mono.bits_of(self.support_mask()))
             self._vars = vs
         return vs
+
+    def support_mask(self) -> int:
+        """Bitmask union of the variable supports of all monomials.
+
+        Bit ``v`` is set iff ``x_v`` occurs somewhere in the polynomial.
+        Width-adaptive (a plain Python int), cached, and the basis for
+        the O(limbs) disjointness tests in ``AnfSystem.normalize`` and
+        the linear-group crawl of the propagation engine.
+        """
+        sm = self._smask
+        if sm is None:
+            pairs = self._mmasks
+            if pairs is not None:
+                sm = 0
+                for mk, _ in pairs:
+                    sm |= mk
+            else:
+                # Don't force the (mask, monomial) pair list into
+                # existence: most polys only ever need the support OR.
+                sm = 0
+                mask_of = mono.mask_of
+                for m in self._monomials:
+                    sm |= mask_of(m)
+            self._smask = sm
+        return sm
+
+    def monomial_masks(self) -> list:
+        """Cached ``(mask, monomial)`` pairs, one per monomial.
+
+        Looking a mask up through the interning table costs a tuple hash
+        per call; the hot kernels (literal substitution, monomial
+        products, mask evaluation) instead iterate this list and pay the
+        hash once per ``Poly`` lifetime.  Treat as read-only.
+        """
+        pairs = self._mmasks
+        if pairs is None:
+            mask_of = mono.mask_of
+            pairs = [(mask_of(m), m) for m in self._monomials]
+            self._mmasks = pairs
+        return pairs
 
     def is_linear(self) -> bool:
         """True if every monomial has degree at most one."""
@@ -241,12 +287,27 @@ class Poly:
     __sub__ = __add__
 
     def __mul__(self, other: "Poly") -> "Poly":
-        """Boolean-ring product; distributes and cancels mod 2."""
+        """Boolean-ring product; distributes and cancels mod 2.
+
+        On the mask path each term is one OR of two cached monomial
+        masks plus an interning lookup, at any variable width.
+        """
         if not self._monomials or not other._monomials:
             return _ZERO
-        mul = mono.mul
         acc: Set[Monomial] = set()
         toggle_in, toggle_out = acc.add, acc.discard
+        if mono.masks_enabled():
+            from_mask = mono.from_mask
+            b_pairs = other.monomial_masks()
+            for ma, _ in self.monomial_masks():
+                for mb, _ in b_pairs:
+                    m = from_mask(ma | mb)
+                    if m in acc:
+                        toggle_out(m)
+                    else:
+                        toggle_in(m)
+            return Poly._from_frozenset(frozenset(acc))
+        mul = mono.mul
         for a in self._monomials:
             for b in other._monomials:
                 m = mul(a, b)
@@ -260,15 +321,25 @@ class Poly:
         """``self * m`` for a single monomial — one pass, no nested loop.
 
         The workhorse of XL expansion and Buchberger reduction, where one
-        operand is always a monomial; with interned bitmask monomials each
-        term is a single OR.
+        operand is always a monomial; with cached bitmask monomials each
+        term is a single OR plus an interning lookup.
         """
         if not self._monomials:
             return _ZERO
         if not m:
             return self
-        mul = mono.mul
         acc: Set[Monomial] = set()
+        if mono.masks_enabled():
+            mmask = mono.mask_of(m)
+            from_mask = mono.from_mask
+            for mk, _ in self.monomial_masks():
+                prod = from_mask(mk | mmask)
+                if prod in acc:
+                    acc.discard(prod)
+                else:
+                    acc.add(prod)
+            return Poly._from_frozenset(frozenset(acc))
+        mul = mono.mul
         for a in self._monomials:
             prod = mul(a, m)
             if prod in acc:
@@ -349,17 +420,39 @@ class Poly:
                 simple = None
                 break
         if simple is not None:
-            return self._substitute_literals(simple)
+            return self.substitute_literals(simple)
+        use_masks = mono.masks_enabled()
+        sub_mask = 0
+        if use_masks:
+            for v in mapping:
+                sub_mask |= 1 << v
         acc: Set[Monomial] = set()
-        for m in self._monomials:
-            hit = [v for v in m if v in mapping]
-            if not hit:
-                if m in acc:
-                    acc.discard(m)
-                else:
-                    acc.add(m)
-                continue
-            rest = tuple(v for v in m if v not in mapping)
+        if use_masks:
+            # One AND against the substitution mask screens untouched
+            # monomials; only the intersection bits are substituted.
+            work = self.monomial_masks()
+        else:
+            work = [(None, m) for m in self._monomials]
+        for mk, m in work:
+            if use_masks:
+                inter = mk & sub_mask
+                if not inter:
+                    if m in acc:
+                        acc.discard(m)
+                    else:
+                        acc.add(m)
+                    continue
+                hit = mono.bits_of(inter)
+                rest: Monomial = mono.from_mask(mk & ~sub_mask)
+            else:
+                hit = [v for v in m if v in mapping]
+                if not hit:
+                    if m in acc:
+                        acc.discard(m)
+                    else:
+                        acc.add(m)
+                    continue
+                rest = tuple(v for v in m if v not in mapping)
             prod = Poly.from_monomial(rest)
             for v in hit:
                 prod = prod * mapping[v]
@@ -372,14 +465,107 @@ class Poly:
                     acc.add(pm)
         return Poly._from_frozenset(frozenset(acc))
 
-    def _substitute_literals(
+    def substitute_literals(
         self, simple: Dict[int, Tuple[Optional[int], int]]
     ) -> "Poly":
         """Substitution where every replacement is ``0``, ``1``, ``y`` or
         ``y + 1`` (encoded ``(None, 0)``, ``(None, 1)``, ``(y, 0)``,
-        ``(y, 1)``).  Each monomial rewrites to at most ``2^k`` monomials
-        where k is its count of *negated* aliases — almost always 0 or 1.
+        ``(y, 1)`` — the encoding ``VariableState.literal_of`` produces).
+        Each monomial rewrites to at most ``2^k`` monomials where k is
+        its count of *negated* aliases — almost always 0 or 1.
+
+        This is the propagation engine's hottest kernel, and it is
+        mask-native: the substitution is pre-split into bitmasks, one
+        width-adaptive AND screens each monomial (most monomials of a
+        dirtied equation do not mention a substituted variable), dead
+        monomials die on a second AND, and the rewritten base monomial is
+        assembled by mask OR instead of list-sort.  The per-variable loop
+        survives as the tuple-oracle implementation.
+
+        ``AnfSystem.normalize`` pre-splits the masks itself and calls
+        :meth:`substitute_masks` directly.
         """
+        if not mono.masks_enabled():
+            return self._substitute_literals_tuple(simple)
+        sub_mask = 0  # all substituted variables
+        dead_mask = 0  # -> constant 0: the monomial dies
+        alias: Optional[Dict[int, Tuple[int, int]]] = None  # -> y or y + 1
+        alias_mask = 0
+        for v, (y, c) in simple.items():
+            bit = 1 << v
+            sub_mask |= bit
+            if y is None:
+                if c == 0:
+                    dead_mask |= bit
+                # constant 1: the variable simply drops out of the base
+            else:
+                alias_mask |= bit
+                if alias is None:
+                    alias = {}
+                alias[v] = (y, c)
+        return self.substitute_masks(sub_mask, dead_mask, alias_mask, alias)
+
+    def substitute_masks(
+        self,
+        sub_mask: int,
+        dead_mask: int,
+        alias_mask: int,
+        alias: Optional[Dict[int, Tuple[int, int]]],
+    ) -> "Poly":
+        """Mask-native literal substitution with the masks pre-split.
+
+        ``sub_mask`` covers every substituted variable, ``dead_mask`` the
+        ones replaced by constant 0, ``alias_mask`` the ones replaced by
+        ``y`` / ``y + 1`` (with ``alias[v] = (y, parity)``); bits in
+        ``sub_mask`` only are replaced by constant 1 and simply drop out.
+        """
+        acc: Set[Monomial] = set()
+        from_mask = mono.from_mask
+        for mk, m in self.monomial_masks():
+            hit = mk & sub_mask
+            if not hit:
+                if m in acc:
+                    acc.discard(m)
+                else:
+                    acc.add(m)
+                continue
+            if hit & dead_mask:
+                continue
+            base_mask = mk & ~sub_mask
+            negated = None
+            walk = hit & alias_mask
+            while walk:
+                low = walk & -walk
+                walk ^= low
+                y, c = alias[low.bit_length() - 1]
+                if c == 0:
+                    base_mask |= 1 << y
+                else:
+                    if negated is None:
+                        negated = []
+                    negated.append(y)
+            if not negated:
+                bm = from_mask(base_mask)
+                if bm in acc:
+                    acc.discard(bm)
+                else:
+                    acc.add(bm)
+                continue
+            # Π (y_i + 1) = Σ over subsets; empty when the product dies.
+            for pmask in mono.expand_negated_mask(base_mask, negated):
+                pm = from_mask(pmask)
+                if pm in acc:
+                    acc.discard(pm)
+                else:
+                    acc.add(pm)
+        return Poly._from_frozenset(frozenset(acc))
+
+    def _substitute_literals_tuple(
+        self, simple: Dict[int, Tuple[Optional[int], int]]
+    ) -> "Poly":
+        """Tuple-oracle twin of :meth:`substitute_literals` (the
+        pre-mask per-variable loop), used under
+        :func:`repro.anf.monomial.tuple_oracle`."""
         get = simple.get
         acc: Set[Monomial] = set()
         for m in self._monomials:
@@ -425,6 +611,19 @@ class Poly:
         acc = 0
         for m in self._monomials:
             acc ^= mono.evaluate(m, assignment)
+        return acc
+
+    def evaluate_mask(self, amask: int) -> int:
+        """Evaluate under a packed assignment mask (see
+        :func:`repro.anf.monomial.assignment_mask`); 0 or 1.
+
+        One subset test per monomial on the interned masks — the fast
+        path for sweeping a whole system against one assignment.
+        """
+        acc = 0
+        for mk, _ in self.monomial_masks():
+            if mk & amask == mk:
+                acc ^= 1
         return acc
 
     def remap(self, var_map: Dict[int, int]) -> "Poly":

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from . import monomial as mono
 from .polynomial import Poly
 from .ring import Ring
 
@@ -33,8 +34,17 @@ class VariableState:
         self._value: List[Optional[int]] = [None] * n_vars
         # Every variable that might have a non-trivial substitution (a
         # value or a non-root representative).  Lets AnfSystem.normalize
-        # skip untouched variables without a union-find walk.
+        # skip untouched variables without a union-find walk.  The mask
+        # mirror makes the "does this polynomial mention any touched
+        # variable" test a single width-adaptive AND against the
+        # polynomial's cached support mask.
         self._touched: Set[int] = set()
+        self._touched_mask: int = 0
+        # Literal-substitution cache: variable -> (None, c) for a value,
+        # (root, parity) for an equivalence literal, or None when the
+        # variable is its own representative.  Cleared wholesale on every
+        # state change (assign/equate), so entries are always current.
+        self._lit_cache: Dict[int, Optional[Tuple[Optional[int], int]]] = {}
 
     def ensure(self, index: int) -> None:
         """Grow state so ``index`` is valid."""
@@ -46,6 +56,13 @@ class VariableState:
     @property
     def n_vars(self) -> int:
         return len(self._parent)
+
+    @property
+    def touched_mask(self) -> int:
+        """Mask over every variable that may have a non-trivial
+        substitution (value or representative).  A superset, never stale:
+        bits are only ever added."""
+        return self._touched_mask
 
     def find(self, v: int) -> Tuple[int, int]:
         """Return ``(root, parity)`` such that ``x_v = x_root ⊕ parity``."""
@@ -88,6 +105,8 @@ class VariableState:
         root, parity = self.find(v)
         self._touched.add(v)
         self._touched.add(root)
+        self._touched_mask |= (1 << v) | (1 << root)
+        self._lit_cache.clear()
         want = value ^ parity
         have = self._value[root]
         if have is None:
@@ -107,6 +126,8 @@ class VariableState:
         ra, pa = self.find(a)
         rb, pb = self.find(b)
         self._touched.update((a, b, ra, rb))
+        self._touched_mask |= (1 << a) | (1 << b) | (1 << ra) | (1 << rb)
+        self._lit_cache.clear()
         joint = pa ^ pb ^ parity
         if ra == rb:
             if joint:
@@ -140,11 +161,35 @@ class VariableState:
         other._parity = list(self._parity)
         other._value = list(self._value)
         other._touched = set(self._touched)
+        other._touched_mask = self._touched_mask
+        other._lit_cache = {}
         return other
 
     def known_variables(self) -> List[int]:
         """All variables with a determined value."""
         return [v for v in range(len(self._parent)) if self.value(v) is not None]
+
+    def literal_of(self, v: int) -> Optional[Tuple[Optional[int], int]]:
+        """The literal substitution for ``v`` in encoded form, cached.
+
+        Returns ``(None, c)`` when the variable has value ``c``,
+        ``(root, parity)`` when it rewrites to another variable (possibly
+        negated), or None when it is its own representative.  This is the
+        exact encoding :meth:`Poly.substitute_literals` consumes, so ANF
+        propagation never round-trips substitutions through ``Poly``
+        objects.
+        """
+        cache = self._lit_cache
+        if v in cache:
+            return cache[v]
+        val = self.value(v)
+        if val is not None:
+            entry: Optional[Tuple[Optional[int], int]] = (None, val)
+        else:
+            root, parity = self.find(v)
+            entry = (root, parity) if root != v else None
+        cache[v] = entry
+        return entry
 
     def substitution_for(self, v: int) -> Optional[Poly]:
         """Polynomial to substitute for ``v``, or None if v is its own rep.
@@ -340,18 +385,49 @@ class AnfSystem:
     # -- normalisation against the variable state ---------------------------
 
     def normalize(self, p: Poly) -> Poly:
-        """Rewrite ``p`` under the current values and equivalence literals."""
+        """Rewrite ``p`` under the current values and equivalence literals.
+
+        The touched-variable screen is one bitwise AND between the
+        state's touched mask and the polynomial's cached support mask —
+        O(limbs) regardless of how many variables the system has — and
+        only the intersection bits are walked for substitutions.
+        """
         state = self.state
-        touched = state._touched
-        vs = p.variables()
-        if touched.isdisjoint(vs):
+        hit = state._touched_mask & p.support_mask()
+        if not hit:
             return p
+        if mono.masks_enabled():
+            # Mask-native pipeline: state literals feed the substitution
+            # kernel directly as pre-split masks — no intermediate Poly
+            # objects, no re-classification, no per-call dict.
+            literal_of = state.literal_of
+            sub_mask = dead_mask = alias_mask = 0
+            alias: Optional[Dict[int, Tuple[int, int]]] = None
+            for v in mono.bits_of(hit):
+                entry = literal_of(v)
+                if entry is None:
+                    continue
+                y, c = entry
+                bit = 1 << v
+                sub_mask |= bit
+                if y is None:
+                    if c == 0:
+                        dead_mask |= bit
+                else:
+                    alias_mask |= bit
+                    if alias is None:
+                        alias = {}
+                    alias[v] = (y, c)
+            if not sub_mask:
+                return p
+            return p.substitute_masks(sub_mask, dead_mask, alias_mask, alias)
+        # Tuple-oracle path: the pre-change pipeline through Poly-valued
+        # substitutions and substitute_many's shape classification.
         mapping: Dict[int, Poly] = {}
-        for v in vs:
-            if v in touched:
-                sub = state.substitution_for(v)
-                if sub is not None:
-                    mapping[v] = sub
+        for v in mono.bits_of(hit):
+            sub = state.substitution_for(v)
+            if sub is not None:
+                mapping[v] = sub
         if not mapping:
             return p
         return p.substitute_many(mapping)
@@ -373,7 +449,19 @@ class AnfSystem:
         return other
 
     def check_assignment(self, assignment) -> bool:
-        """True if the concrete assignment satisfies every equation."""
+        """True if the concrete assignment satisfies every equation.
+
+        Full 0/1 sequences covering the ring are packed once into an
+        assignment mask and every equation is checked with per-monomial
+        subset tests; mappings (or short sequences) take the generic
+        per-variable path, preserving its KeyError/IndexError contract.
+        """
+        if (
+            isinstance(assignment, (list, tuple))
+            and len(assignment) >= self.ring.n_vars
+        ):
+            amask = mono.assignment_mask(assignment)
+            return all(p.evaluate_mask(amask) == 0 for p in self._polys)
         return all(p.evaluate(assignment) == 0 for p in self._polys)
 
     def __repr__(self) -> str:

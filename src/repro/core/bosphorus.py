@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..anf import monomial as mono
 from ..anf.polynomial import Poly
 from ..anf.ring import Ring
 from ..anf.system import AnfSystem, ContradictionError
@@ -127,6 +128,11 @@ class Bosphorus:
         status = STATUS_UNKNOWN
         iterations = 0
         technique_stats: List[Dict[str, object]] = []
+        # Snapshot the monomial-layer fallback counter: the whole run —
+        # propagation, XL/ElimLin, probing, conversion — must stay on the
+        # width-adaptive mask path, and the delta is reported so tests
+        # and benches can assert "zero tuple fallbacks" at cipher scale.
+        fallback_base = mono.fallback_hits()
 
         try:
             propagate(system)
@@ -209,6 +215,7 @@ class Bosphorus:
             stats={
                 "techniques": technique_stats,
                 "fact_summary": facts.summary(),
+                "mask_fallback_hits": mono.fallback_hits() - fallback_base,
             },
         )
 

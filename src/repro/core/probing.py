@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..anf import monomial as mono
 from ..anf.polynomial import Poly
 from ..anf.system import AnfSystem, ContradictionError, VariableState
 from .config import Config
@@ -100,9 +101,12 @@ def run_probing(
     result = ProbeResult()
     if not system.polynomials:
         return result
-    interesting = set()
+    # Union of the residuals' support, via the cached width-adaptive
+    # support masks (one OR per equation at any variable count).
+    interesting_mask = 0
     for p in system.polynomials:
-        interesting.update(p.variables())
+        interesting_mask |= p.support_mask()
+    interesting = mono.bits_of(interesting_mask)
 
     for var in _candidate_variables(system, max_probes):
         result.probed += 1
@@ -123,7 +127,21 @@ def run_probing(
             continue
 
         # Both branches alive: harvest agreements on other variables.
-        for other in interesting:
+        # A variable can only have a value in a branch if that branch's
+        # propagation touched it (master-determined ones are skipped
+        # below), so one AND of the branch touched masks prunes the
+        # candidate sweep from "every interesting variable" to the
+        # assumption's cone.  The tuple oracle keeps the pre-change full
+        # sweep; both iterate ascending, so the learnt facts coincide.
+        if mono.masks_enabled():
+            candidates = mono.bits_of(
+                zero_state.touched_mask
+                & one_state.touched_mask
+                & interesting_mask
+            )
+        else:
+            candidates = interesting
+        for other in candidates:
             if other == var or system.state.value(other) is not None:
                 continue
             v0 = zero_state.value(other)

@@ -37,6 +37,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterable, List, Optional, Set, Union
 
+from ..anf import monomial as mono
 from ..anf.polynomial import Poly
 from ..anf.system import AnfSystem, ContradictionError
 from ..gf2.matrix import GF2Matrix
@@ -218,8 +219,10 @@ def _is_linear_residual(p: Poly) -> bool:
     if p.degree() != 1:
         return False
     # Units and equivalences are consumed by the worklist; anything with
-    # three or more variables stays residual and is GJE material.
-    return len(p.variables()) >= 3
+    # three or more variables stays residual and is GJE material.  The
+    # popcount of the cached support mask avoids materialising the
+    # variable frozenset on polynomials that only pass through here.
+    return p.support_mask().bit_count() >= 3
 
 
 def _reduce_linear_groups(
@@ -240,17 +243,19 @@ def _reduce_linear_groups(
         if seed in visited or seed not in system:
             continue
         # -- gather the connected component of linear residuals ------------
+        # The frontier of unseen variables is computed with width-adaptive
+        # mask ops (support mask AND NOT seen mask), so the crawl cost is
+        # O(limbs) per equation plus the genuinely new variables.
         group: List[Poly] = []
         stack = [seed]
         visited.add(seed)
-        seen_vars: Set[int] = set()
+        seen_mask = 0
         while stack:
             p = stack.pop()
             group.append(p)
-            for v in p.variables():
-                if v in seen_vars:
-                    continue
-                seen_vars.add(v)
+            new_mask = p.support_mask() & ~seen_mask
+            seen_mask |= new_mask
+            for v in mono.bits_of(new_mask):
                 for idx in system.occurrences(v):
                     q = polys[idx]
                     if q not in visited and _is_linear_residual(q):
@@ -270,7 +275,7 @@ def _reduce_linear_groups(
         # -- echelonise over the component's variables ---------------------
         # Highest variable leftmost (mirrors the deglex column order used
         # by the XL/ElimLin linearisation), constant column last.
-        columns = sorted(seen_vars, reverse=True)
+        columns = mono.bits_of(seen_mask)[::-1]
         col_of = {v: i for i, v in enumerate(columns)}
         const_col = len(columns)
         matrix = GF2Matrix.from_rows(

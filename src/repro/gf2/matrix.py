@@ -89,6 +89,30 @@ class GF2Matrix:
         return m
 
     @staticmethod
+    def from_masks(masks: Sequence[int], n_cols: int) -> "GF2Matrix":
+        """Build from width-adaptive int bitmasks, one per row.
+
+        Bit ``j`` of ``masks[i]`` becomes entry ``(i, j)``.  The masks
+        are the same little-endian 64-bit-limb encoding the monomial
+        layer uses (see :func:`repro.anf.monomial.mask_words`), so a row
+        is one ``to_bytes`` reinterpretation — no per-bit loop.
+        """
+        m = GF2Matrix(len(masks), n_cols)
+        nbytes = m._data.shape[1] * 8
+        for i, mask in enumerate(masks):
+            if mask < 0:
+                raise ValueError("negative mask at row {}".format(i))
+            if mask.bit_length() > n_cols:
+                raise IndexError(
+                    "row {} mask has bits beyond column {}".format(i, n_cols)
+                )
+            if mask:
+                m._data[i] = np.frombuffer(
+                    mask.to_bytes(nbytes, "little"), dtype="<u8"
+                )
+        return m
+
+    @staticmethod
     def identity(n: int) -> "GF2Matrix":
         """The n x n identity matrix."""
         m = GF2Matrix(n, n)
@@ -129,8 +153,24 @@ class GF2Matrix:
 
     # -- row level ops -------------------------------------------------------
 
+    def row_mask(self, i: int) -> int:
+        """Row ``i`` as a width-adaptive int bitmask (bit ``j`` = entry
+        ``(i, j)``), the inverse of one :meth:`from_masks` row.
+
+        This is the bridge to the monomial layer's masks: the packed
+        ``uint64`` words reinterpret directly as a Python big int.
+        """
+        if not 0 <= i < self.n_rows:
+            raise IndexError("row {} out of range".format(i))
+        return int.from_bytes(self._data[i].astype("<u8").tobytes(), "little")
+
     def row_cols(self, i: int) -> List[int]:
-        """Column indices of the 1-entries in row ``i`` (ascending)."""
+        """Column indices of the 1-entries in row ``i`` (ascending).
+
+        Walks the packed words directly — one machine-int bit-walk per
+        64-column word — rather than decoding the whole row into one big
+        int, which would cost O(set bits x words).
+        """
         out: List[int] = []
         row = self._data[i]
         for w in range(self._words):
