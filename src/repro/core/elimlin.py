@@ -29,6 +29,12 @@ class ElimLinResult:
     rounds: int = 0
     eliminated: int = 0
     contradiction: bool = False
+    #: Variables substituted out, in elimination order.  ElimLin's
+    #: invariant: once eliminated, a variable never reappears — neither
+    #: in the working system nor in ``residual``.
+    eliminated_vars: List[int] = field(default_factory=list)
+    #: The simplified system ElimLin ended with (empty on contradiction).
+    residual: List[Poly] = field(default_factory=list)
 
 
 def _occurrence_counts(polys: Sequence[Poly]) -> Dict[int, int]:
@@ -65,6 +71,7 @@ def run_elimlin(
             return result
         linear = [p for p in reduced if p.is_linear() and not p.is_zero()]
         if not linear:
+            result.residual = [p for p in reduced if not p.is_zero()]
             break
         nonlinear = [p for p in reduced if not p.is_linear()]
         # Record the linear equations as learnt facts.
@@ -74,7 +81,9 @@ def run_elimlin(
         # Eliminate one variable per linear equation, least-occurring first.
         counts = _occurrence_counts(nonlinear)
         current = nonlinear
-        for eq in linear:
+        pending = list(linear)
+        while pending:
+            eq = pending.pop(0)
             decomposed = eq.as_linear_equation()
             if decomposed is None:
                 continue
@@ -97,7 +106,20 @@ def run_elimlin(
                     new_current.append(q)
             current = new_current
             result.eliminated += 1
+            result.eliminated_vars.append(target)
             counts = _occurrence_counts(current)
+            # Rewrite the *pending* linear equations of this round under
+            # the same substitution.  Without this, a later equation still
+            # mentions the just-eliminated variable: its substitution is
+            # then either vacuous (the stale variable re-targets as the
+            # least-occurring one, wasting the equation's elimination) or
+            # would re-introduce an eliminated variable through the
+            # replacement — both violate ElimLin's invariant that an
+            # eliminated variable never comes back.  A rewritten row is
+            # ``peq + eq``, so pending rows stay GF(2) combinations of
+            # the round's independent RREF rows: they can become neither
+            # ``1`` (caught by the round-start check) nor ``0``.
+            pending = [peq.substitute(target, replacement) for peq in pending]
         if not current:
             break
         system = current

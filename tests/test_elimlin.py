@@ -91,3 +91,57 @@ def test_eliminated_counter():
     polys = polys_of("x1 + x2\nx1*x3 + x2*x3 + x3")
     result = run_elimlin(polys, Config(elimlin_sample_bits=8))
     assert result.eliminated >= 1
+
+
+def test_stale_linear_equation_regression():
+    """Pending linear equations must be rewritten after each elimination.
+
+    GJE on this system leaves two linear rows overlapping in x1:
+    ``x5 + x1`` and ``x4 + x1``.  The first eliminates x1 (it is the
+    least-occurring variable of that equation).  The old engine then
+    processed ``x4 + x1`` *unrewritten*: x1, now occurring nowhere, was
+    re-targeted as the least-occurring variable, so the substitution was
+    vacuous — x1 was "eliminated" twice, x4 never, and x4 survived in
+    the residual although ``x4 = x1`` was learnt.  With the fix the
+    pending equation is rewritten to ``x4 + x5`` and x4 is genuinely
+    substituted out.
+    """
+    polys = polys_of("""
+x4 + x1
+x5 + x1
+x2*x4 + x1
+x3*x4 + x6
+x5*x6 + x2
+""")
+    result = run_elimlin(polys, Config(elimlin_sample_bits=10))
+    assert not result.contradiction
+    # Two independent linear equations -> two *distinct* eliminations.
+    assert result.eliminated == 2
+    assert len(set(result.eliminated_vars)) == 2
+    # The invariant: an eliminated variable never reappears.
+    residual_vars = set()
+    for p in result.residual:
+        residual_vars |= p.variables()
+    assert not residual_vars & set(result.eliminated_vars)
+    # Specifically, the second equation's pivot x4 must be gone (the old
+    # engine left it in the residual).
+    assert 4 not in residual_vars
+
+
+def test_eliminated_vars_never_in_residual():
+    """ElimLin invariant on a deeper system: residual is disjoint from
+    the eliminated variables."""
+    polys = polys_of("""
+x1 + x2 + x3
+x2 + x4 + 1
+x1*x4 + x5
+x3*x5 + x2 + x6
+x5*x6 + x1
+""")
+    result = run_elimlin(polys, Config(elimlin_sample_bits=10, seed=2))
+    assert not result.contradiction
+    residual_vars = set()
+    for p in result.residual:
+        residual_vars |= p.variables()
+    assert not residual_vars & set(result.eliminated_vars)
+    assert len(set(result.eliminated_vars)) == result.eliminated
