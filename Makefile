@@ -3,7 +3,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke
+.PHONY: test test-fast bench bench-smoke bench-elimlin
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -24,3 +24,10 @@ bench:
 bench-smoke:
 	REPRO_BENCH_COUNT=1 REPRO_BENCH_TIMEOUT=2 \
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_*.py -q --benchmark-disable
+
+# The mask-native XL/ElimLin perf claim (>=3x on the to_matrix /
+# _occurrence_counts paths at cipher scale, zero tuple fallbacks),
+# timed and asserted.  REPRO_BENCH_COUNT>=2 arms the ratio assertions.
+bench-elimlin:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_solver_core.py \
+		-q --benchmark-only -k "elimlin_wide or xl_wide"

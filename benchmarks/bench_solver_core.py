@@ -23,6 +23,7 @@ from repro.anf import monomial as mono
 from repro.anf.polynomial import Poly
 from repro.anf.stats import mask_fallback_hits, reset_mask_fallback_hits
 from repro.ciphers import simon, speck
+from repro.core.config import Config
 from repro.core.probing import run_probing
 from repro.core.propagation import propagate
 from repro.gf2 import GF2Matrix
@@ -234,6 +235,389 @@ def test_anf_wide_probing_sweep_speck(benchmark):
     benchmark.extra_info["speedup"] = round(ratio, 2)
     if full:
         assert ratio >= 1.2, "probing sweep only {:.2f}x faster".format(ratio)
+
+
+# ---------------------------------------------------------------------------
+# XL / ElimLin layer: the mask-native linearisation pipeline vs the seed
+# data path (per-cell `to_matrix`, per-row decode, `_occurrence_counts`
+# recounts, list-scan fact dedup, push-then-check caps).  The seed legs
+# below replicate that path exactly, on top of the same substitution and
+# RREF kernels, so the ratios isolate the rewritten layers.
+# ---------------------------------------------------------------------------
+
+
+def _seed_gauss_jordan(polynomials):
+    """The seed GJE data path: per-cell encode, per-row decode."""
+    from repro.core.linearize import Linearization
+
+    polys = [p for p in polynomials if not p.is_zero()]
+    if not polys:
+        return []
+    lin = Linearization(polys)
+    matrix = lin.to_matrix_scalar(polys)
+    matrix.rref()
+    return lin.rows_to_polys_scalar(matrix)
+
+
+def _seed_run_elimlin(polynomials, config, rng):
+    """The seed ElimLin loop: scalar GJE, a full `_occurrence_counts`
+    recount after every elimination, list-scan fact dedup, generic
+    substitution without support-mask screening.  (Includes the
+    staleness fix — pending equations are rewritten — so outputs are
+    comparable bit-for-bit with `run_elimlin`.)"""
+    from collections import Counter
+
+    from repro.core.elimlin import ElimLinResult
+    from repro.core.xl import _subsample
+
+    def counts_of(polys):
+        c = Counter()
+        for p in polys:
+            c.update(p.variables())
+        return c
+
+    result = ElimLinResult()
+    polys = [p for p in polynomials if not p.is_zero()]
+    if not polys:
+        return result
+    system = _subsample(polys, config.elimlin_sample_bits, rng)
+    while True:
+        result.rounds += 1
+        reduced = _seed_gauss_jordan(system)
+        if any(p.is_one() for p in reduced):
+            result.contradiction = True
+            result.facts.append(Poly.one())
+            return result
+        linear = [p for p in reduced if p.is_linear() and not p.is_zero()]
+        if not linear:
+            result.residual = [p for p in reduced if not p.is_zero()]
+            break
+        nonlinear = [p for p in reduced if not p.is_linear()]
+        for eq in linear:
+            if eq not in result.facts:
+                result.facts.append(eq)
+        counts = counts_of(nonlinear)
+        current = nonlinear
+        pending = list(linear)
+        k = 0
+        while k < len(pending):
+            eq = pending[k]
+            k += 1
+            decomposed = eq.as_linear_equation()
+            if decomposed is None:
+                continue
+            variables, const = decomposed
+            if not variables:
+                continue
+            target = min(variables, key=lambda v: counts.get(v, 0))
+            replacement = Poly(
+                [(v,) for v in variables if v != target]
+            ).add_constant(const)
+            new_current = []
+            for p in current:
+                q = p.substitute(target, replacement)
+                if q.is_one():
+                    result.contradiction = True
+                    result.facts.append(Poly.one())
+                    return result
+                if not q.is_zero():
+                    new_current.append(q)
+            current = new_current
+            result.eliminated += 1
+            result.eliminated_vars.append(target)
+            counts = counts_of(current)
+            pending[k:] = [
+                peq.substitute(target, replacement) for peq in pending[k:]
+            ]
+        if not current:
+            break
+        system = current
+    return result
+
+
+def _seed_run_xl(polynomials, config, rng):
+    """The seed XL loop: tuple-set monomial bookkeeping, push-then-check
+    caps (overshooting), scalar GJE data path."""
+    from repro.core.linearize import Linearization, extract_facts
+    from repro.core.xl import XlResult, _multipliers, _subsample
+
+    result = XlResult()
+    polys = [p for p in polynomials if not p.is_zero()]
+    if not polys:
+        return result
+    sample = _subsample(polys, config.xl_sample_bits, rng)
+    result.sampled = len(sample)
+    variables = sorted({v for p in sample for v in p.variables()})
+    size_cap = 1 << (config.xl_sample_bits + config.xl_expand_allowance)
+    expanded = []
+    monomials = set()
+    multipliers = _multipliers(variables, config.xl_degree)
+
+    def size_ok():
+        return (
+            len(expanded) * max(len(monomials), 1) < size_cap
+            and len(expanded) < config.xl_max_rows
+            and len(monomials) < config.xl_max_cols
+        )
+
+    def push(p):
+        expanded.append(p)
+        monomials.update(p.monomials)
+
+    for p in sorted(sample, key=lambda q: q.degree()):
+        push(p)
+        if not size_ok():
+            break
+    if size_ok():
+        for p in sorted(sample, key=lambda q: q.degree()):
+            for m in multipliers:
+                q = p.mul_monomial(m)
+                if not q.is_zero():
+                    push(q)
+                if not size_ok():
+                    break
+            if not size_ok():
+                break
+    result.expanded_rows = len(expanded)
+    lin = Linearization(expanded)
+    result.columns = lin.n_cols
+    matrix = lin.to_matrix_scalar(expanded)
+    matrix.rref()
+    reduced = lin.rows_to_polys_scalar(matrix)
+    linear, monomial_rows = extract_facts(reduced)
+    result.facts = linear + monomial_rows
+    return result
+
+
+def _elimlin_workload(inst, n_pairs, seed=3):
+    """A cipher system plus witness-consistent variable-pair equations,
+    so ElimLin has many linear rows to eliminate through."""
+    w = inst.witness
+    polys = list(inst.polynomials)
+    rng = random.Random(seed)
+    vs = list(range(inst.n_vars))
+    rng.shuffle(vs)
+    for i in range(0, 2 * n_pairs, 2):
+        a, b = vs[i % inst.n_vars], vs[(i + 1) % inst.n_vars]
+        if a == b:
+            continue
+        parity = (w[a] ^ w[b]) & 1
+        polys.append(Poly([(a,), (b,)]).add_constant(parity))
+    return polys
+
+
+def _ab_best_pair(fn_new, fn_seed, rounds):
+    """Interleaved best-of timing of two implementations."""
+    best_new = best_seed = float("inf")
+    r_new = r_seed = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        r_new = fn_new()
+        best_new = min(best_new, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        r_seed = fn_seed()
+        best_seed = min(best_seed, time.perf_counter() - t0)
+    return best_new, best_seed, r_new, r_seed
+
+
+def test_xl_wide_linearize_packed_vs_scalar(benchmark):
+    """The `to_matrix` path at XL scale: packed bulk encode/decode vs the
+    seed per-cell/per-row twins, on a >64-variable Simon expansion.
+
+    This isolates exactly the rewritten layer (matrix build + row
+    decode; the RREF between them is shared and excluded).  Must be
+    >= 3x, with zero tuple fallbacks.
+    """
+    from repro.core.linearize import Linearization
+
+    inst = simon.generate_instance(2, 8, seed=7)
+    assert inst.n_vars > 4 * mono.LIMB_BITS
+    rows = list(inst.polynomials)
+    support = 0
+    for p in inst.polynomials:
+        support |= p.support_mask()
+    for p in inst.polynomials:
+        for v in mono.bits_of(support):
+            q = p.mul_monomial((v,))
+            if not q.is_zero():
+                rows.append(q)
+            if len(rows) >= 4000:
+                break
+        if len(rows) >= 4000:
+            break
+    lin = Linearization(rows)
+    reduced = lin.to_matrix(rows)
+    reduced.rref()
+
+    def packed():
+        return lin.to_matrix(rows), lin.rows_to_polys(reduced)
+
+    def scalar():
+        return lin.to_matrix_scalar(rows), lin.rows_to_polys_scalar(reduced)
+
+    full = bench_count() >= 2
+    reset_mask_fallback_hits()
+    new_s, seed_s, (m_new, d_new), (m_seed, d_seed) = _ab_best_pair(
+        packed, scalar, rounds=5 if full else 1
+    )
+    assert mask_fallback_hits() == 0
+    assert (m_new._data == m_seed._data).all()
+    assert d_new == d_seed
+    benchmark.pedantic(packed, rounds=3 if full else 1, iterations=1)
+    ratio = seed_s / new_s
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["cols"] = lin.n_cols
+    benchmark.extra_info["speedup"] = round(ratio, 2)
+    if full:
+        assert ratio >= 3.0, "packed linearise only {:.2f}x".format(ratio)
+
+
+def test_elimlin_wide_elimination_persistent_vs_recount(benchmark):
+    """The `_occurrence_counts` path: one ElimLin elimination phase with
+    persistent incremental counts + mask screening vs a full recount
+    after every elimination, at Simon32 scale.
+
+    This isolates exactly the rewritten elimination loop (the GJE
+    producing its input runs once, outside the timed region).  Must be
+    >= 3x, with zero tuple fallbacks.
+    """
+    from repro.core.elimlin import _eliminate, _occurrence_counts
+    from repro.core.linearize import gauss_jordan
+
+    inst = simon.generate_instance(2, 8, seed=7)
+    polys = _elimlin_workload(inst, 200)
+    reduced = gauss_jordan(polys)
+    linear = [p for p in reduced if p.is_linear() and not p.is_zero()]
+    nonlinear = [p for p in reduced if not p.is_linear()]
+    assert len(linear) >= 100
+
+    def run_phase(persistent):
+        counts = _occurrence_counts(nonlinear)
+        current = list(nonlinear)
+        pending = list(linear)
+        for k in range(len(pending)):
+            decomposed = pending[k].as_linear_equation()
+            variables, const = decomposed
+            if not variables:
+                continue
+            target = min(variables, key=lambda v: counts.get(v, 0))
+            others = [v for v in variables if v != target]
+            if persistent:
+                current = _eliminate(current, target, others, const, counts)
+            else:
+                replacement = Poly(
+                    [(v,) for v in others]
+                ).add_constant(const)
+                current = [
+                    q
+                    for q in (
+                        p.substitute(target, replacement) for p in current
+                    )
+                    if not q.is_zero()
+                ]
+                counts = _occurrence_counts(current)
+            bit = 1 << target
+            replacement = Poly([(v,) for v in others]).add_constant(const)
+            for j in range(k + 1, len(pending)):
+                if pending[j].support_mask() & bit:
+                    pending[j] = pending[j].substitute(target, replacement)
+        return current
+
+    full = bench_count() >= 2
+    reset_mask_fallback_hits()
+    new_s, seed_s, cur_new, cur_seed = _ab_best_pair(
+        lambda: run_phase(True),
+        lambda: run_phase(False),
+        rounds=5 if full else 1,
+    )
+    assert mask_fallback_hits() == 0
+    assert sorted(cur_new, key=hash) == sorted(cur_seed, key=hash)
+    benchmark.pedantic(
+        lambda: run_phase(True), rounds=3 if full else 1, iterations=1
+    )
+    ratio = seed_s / new_s
+    benchmark.extra_info["eliminations"] = len(linear)
+    benchmark.extra_info["speedup"] = round(ratio, 2)
+    if full:
+        assert ratio >= 3.0, "persistent counts only {:.2f}x".format(ratio)
+
+
+def test_elimlin_wide_end_to_end_vs_seed(benchmark):
+    """Full `run_elimlin` vs the seed replica on a 288-variable Simon
+    workload.  End to end the shared RREF bounds the gap; the rewritten
+    layers still win and the outputs agree bit-for-bit, with zero tuple
+    fallbacks.
+    """
+    from repro.core.elimlin import run_elimlin
+
+    inst = simon.generate_instance(2, 8, seed=7)
+    polys = _elimlin_workload(inst, 200)
+    config = Config(elimlin_sample_bits=16)
+
+    full = bench_count() >= 2
+    new_s, seed_s, res_new, res_seed = _ab_best_pair(
+        lambda: run_elimlin(polys, config, random.Random(0)),
+        lambda: _seed_run_elimlin(polys, config, random.Random(0)),
+        rounds=5 if full else 1,
+    )
+    assert res_new.facts == res_seed.facts
+    assert res_new.eliminated_vars == res_seed.eliminated_vars
+    assert res_new.residual == res_seed.residual
+    reset_mask_fallback_hits()
+    res = benchmark.pedantic(
+        lambda: run_elimlin(polys, config, random.Random(0)),
+        rounds=3 if full else 1,
+        iterations=1,
+    )
+    assert mask_fallback_hits() == 0
+    ratio = seed_s / new_s
+    benchmark.extra_info["n_vars"] = inst.n_vars
+    benchmark.extra_info["eliminated"] = res.eliminated
+    benchmark.extra_info["facts"] = len(res.facts)
+    # Recorded only (no floor assert): end-to-end the shared RREF bounds
+    # the gap (~1.9x here) and a hard wall-clock floor would flake on
+    # noisy CI runners; the >=3x claims live on the isolated-path
+    # benches above, which have ~2x assertion headroom.
+    benchmark.extra_info["speedup"] = round(ratio, 2)
+
+
+def test_xl_wide_end_to_end_vs_seed(benchmark):
+    """Full `run_xl` vs the seed replica on the Simon32 encoding at the
+    default budgets.  The seed leg overshoots the caps by its final
+    pushes (the fixed engine may therefore expand one row less); the
+    mask-native engine must stay within every cap, agree on the sampled
+    set, and run with zero tuple fallbacks.
+    """
+    from repro.core.xl import run_xl
+
+    inst = simon.generate_instance(2, 8, seed=7)
+    polys = list(inst.polynomials)
+    config = Config(xl_sample_bits=16, xl_expand_allowance=4)
+    size_cap = 1 << (config.xl_sample_bits + config.xl_expand_allowance)
+
+    full = bench_count() >= 2
+    new_s, seed_s, res_new, res_seed = _ab_best_pair(
+        lambda: run_xl(polys, config, random.Random(0)),
+        lambda: _seed_run_xl(polys, config, random.Random(0)),
+        rounds=5 if full else 1,
+    )
+    assert res_new.sampled == res_seed.sampled
+    assert res_new.expanded_rows <= config.xl_max_rows
+    assert res_new.columns <= config.xl_max_cols
+    assert res_new.expanded_rows * res_new.columns <= size_cap
+    reset_mask_fallback_hits()
+    res = benchmark.pedantic(
+        lambda: run_xl(polys, config, random.Random(0)),
+        rounds=3 if full else 1,
+        iterations=1,
+    )
+    assert mask_fallback_hits() == 0
+    ratio = seed_s / new_s
+    benchmark.extra_info["rows"] = res.expanded_rows
+    benchmark.extra_info["cols"] = res.columns
+    benchmark.extra_info["facts"] = len(res.facts)
+    # Recorded only (no floor assert) — see the elimlin end-to-end bench.
+    benchmark.extra_info["speedup"] = round(ratio, 2)
 
 
 def test_gf2_rref_xl_sized(benchmark):

@@ -359,11 +359,41 @@ class Poly:
 
         Used by ElimLin's variable elimination and by ANF propagation
         (with constant or single-variable replacements).
+
+        Mask-native: one AND against the cached support mask screens the
+        whole polynomial, one AND per monomial screens the term, and
+        each product is a single mask OR plus an interning lookup — no
+        tuple merges at any variable width.
         """
+        if var < 0:
+            raise ValueError("negative variable index: {}".format(var))
+        if mono.masks_enabled():
+            bit = 1 << var
+            if not self.support_mask() & bit:
+                return self
+            acc: Set[Monomial] = set()
+            from_mask = mono.from_mask
+            rep_pairs = replacement.monomial_masks()
+            for mk, m in self.monomial_masks():
+                if not mk & bit:
+                    if m in acc:
+                        acc.discard(m)
+                    else:
+                        acc.add(m)
+                    continue
+                rest = mk & ~bit
+                for rk, _ in rep_pairs:
+                    prod = from_mask(rest | rk)
+                    if prod in acc:
+                        acc.discard(prod)
+                    else:
+                        acc.add(prod)
+            return Poly._from_frozenset(frozenset(acc))
+        # Tuple-oracle twin: the pre-mask per-monomial remove/mul loop.
         if self._vars is not None and var not in self._vars:
             return self
         untouched: Set[Monomial] = set()
-        acc: Set[Monomial] = set()
+        acc2: Set[Monomial] = set()
         hit = False
         for m in self._monomials:
             if var not in m:
@@ -373,13 +403,13 @@ class Poly:
             rest = mono.remove(m, var)
             for r in replacement._monomials:
                 prod = mono.mul(rest, r)
-                if prod in acc:
-                    acc.discard(prod)
+                if prod in acc2:
+                    acc2.discard(prod)
                 else:
-                    acc.add(prod)
+                    acc2.add(prod)
         if not hit:
             return self
-        return Poly._from_frozenset(frozenset(untouched) ^ frozenset(acc))
+        return Poly._from_frozenset(frozenset(untouched) ^ frozenset(acc2))
 
     def substitute_many(self, mapping: Dict[int, "Poly"]) -> "Poly":
         """Simultaneously substitute several variables.

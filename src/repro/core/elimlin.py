@@ -6,6 +6,26 @@ linear equations, (3) for each linear equation eliminate — by substitution
 equations.  All linear equations discovered along the way are valid
 consequences of the original system (substitution keeps us inside the
 ideal), so they are exactly ElimLin's learnt facts.
+
+After every elimination the *pending* linear equations of the round are
+rewritten under the same substitution, so no equation ever mentions an
+eliminated variable — ElimLin's invariant (eliminated variables never
+come back) holds by construction; see ``ElimLinResult.eliminated_vars``
+and the staleness regression test.
+
+Mask-native elimination
+-----------------------
+The elimination loop never rescans the system: per-variable occurrence
+counts are kept *persistent* and updated incrementally as rows are
+rewritten (mirroring the occurrence lists of
+:class:`~repro.anf.system.AnfSystem`), rows untouched by a substitution
+are screened out with one AND of the eliminated variable's bit against
+each row's cached support mask, literal-shaped replacements (constants
+and ``y`` / ``y ⊕ 1``) go through the
+:meth:`~repro.anf.polynomial.Poly.substitute_masks` kernel, and learnt
+facts are deduplicated through a hash set instead of list scans.  The
+GJE step itself rides the packed bulk encode/decode of
+:mod:`repro.core.linearize`.
 """
 
 from __future__ import annotations
@@ -13,7 +33,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..anf.polynomial import Poly
 from .config import Config
@@ -38,10 +58,69 @@ class ElimLinResult:
 
 
 def _occurrence_counts(polys: Sequence[Poly]) -> Dict[int, int]:
+    """Full recount of variable occurrences (one per mentioning row).
+
+    The elimination loop maintains these counts incrementally; this
+    helper seeds them once per round (and serves as the recount oracle
+    for the benches and invariant tests).
+    """
     counts: Counter = Counter()
     for p in polys:
         counts.update(p.variables())
     return counts
+
+
+def _substitution_fn(target: int, others: Sequence[int], const: int):
+    """The substitution ``x_target = Σ others ⊕ const`` as a callable.
+
+    Literal-shaped replacements (a constant, or ``y`` / ``y ⊕ 1``) go
+    through the :meth:`Poly.substitute_masks` kernel; only multi-variable
+    replacements pay the generic (still mask-native) substitution.
+    """
+    bit = 1 << target
+    if len(others) == 0:
+        # target := const — the substitute_masks literal kernel.
+        dead = bit if const == 0 else 0
+        return lambda p: p.substitute_masks(bit, dead, 0, None)
+    if len(others) == 1:
+        # target := y (+ 1) — an alias literal.
+        alias = {target: (others[0], const)}
+        return lambda p: p.substitute_masks(bit, 0, bit, alias)
+    replacement = Poly([(v,) for v in others]).add_constant(const)
+    return lambda p: p.substitute(target, replacement)
+
+
+def _eliminate(
+    polys: List[Poly],
+    target: int,
+    others: Sequence[int],
+    const: int,
+    counts: Counter,
+) -> Optional[List[Poly]]:
+    """Substitute ``x_target = Σ others ⊕ const`` into ``polys``.
+
+    Rows are screened with one support-mask AND per row; only rewritten
+    rows touch ``counts`` (old variables decremented, new incremented).
+    Returns the new row list, or None when a row reduced to ``1``.
+    """
+    bit = 1 << target
+    sub = _substitution_fn(target, others, const)
+    out: List[Poly] = []
+    for p in polys:
+        if not p.support_mask() & bit:
+            out.append(p)
+            continue
+        q = sub(p)
+        if q.is_one():
+            return None
+        for v in p.variables():
+            counts[v] -= 1
+        if q.is_zero():
+            continue
+        for v in q.variables():
+            counts[v] += 1
+        out.append(q)
+    return out
 
 
 def run_elimlin(
@@ -61,6 +140,7 @@ def run_elimlin(
     if not polys:
         return result
     system: List[Poly] = _subsample(polys, config.elimlin_sample_bits, rng)
+    fact_set: Set[Poly] = set()
 
     while True:
         result.rounds += 1
@@ -74,16 +154,19 @@ def run_elimlin(
             result.residual = [p for p in reduced if not p.is_zero()]
             break
         nonlinear = [p for p in reduced if not p.is_linear()]
-        # Record the linear equations as learnt facts.
+        # Record the linear equations as learnt facts (hash-set dedup).
         for eq in linear:
-            if eq not in result.facts:
+            if eq not in fact_set:
+                fact_set.add(eq)
                 result.facts.append(eq)
-        # Eliminate one variable per linear equation, least-occurring first.
+        # Eliminate one variable per linear equation, least-occurring
+        # first.  ``counts`` is seeded once and maintained incrementally
+        # by ``_eliminate`` from here on.
         counts = _occurrence_counts(nonlinear)
         current = nonlinear
         pending = list(linear)
-        while pending:
-            eq = pending.pop(0)
+        for k in range(len(pending)):
+            eq = pending[k]
             decomposed = eq.as_linear_equation()
             if decomposed is None:
                 continue
@@ -91,35 +174,33 @@ def run_elimlin(
             if not variables:
                 continue
             target = min(variables, key=lambda v: counts.get(v, 0))
-            # x_target = (sum of the others) + const
-            replacement = Poly(
-                [(v,) for v in variables if v != target]
-            ).add_constant(const)
-            new_current = []
-            for p in current:
-                q = p.substitute(target, replacement)
-                if q.is_one():
-                    result.contradiction = True
-                    result.facts.append(Poly.one())
-                    return result
-                if not q.is_zero():
-                    new_current.append(q)
+            others = [v for v in variables if v != target]
+            new_current = _eliminate(current, target, others, const, counts)
+            if new_current is None:
+                result.contradiction = True
+                result.facts.append(Poly.one())
+                return result
             current = new_current
             result.eliminated += 1
             result.eliminated_vars.append(target)
-            counts = _occurrence_counts(current)
             # Rewrite the *pending* linear equations of this round under
-            # the same substitution.  Without this, a later equation still
-            # mentions the just-eliminated variable: its substitution is
-            # then either vacuous (the stale variable re-targets as the
-            # least-occurring one, wasting the equation's elimination) or
-            # would re-introduce an eliminated variable through the
-            # replacement — both violate ElimLin's invariant that an
-            # eliminated variable never comes back.  A rewritten row is
-            # ``peq + eq``, so pending rows stay GF(2) combinations of
-            # the round's independent RREF rows: they can become neither
-            # ``1`` (caught by the round-start check) nor ``0``.
-            pending = [peq.substitute(target, replacement) for peq in pending]
+            # the same substitution.  Without this, a later equation
+            # still mentions the just-eliminated variable: its
+            # substitution is then either vacuous (the stale variable
+            # re-targets as the least-occurring one, wasting the
+            # equation's elimination) or would re-introduce an
+            # eliminated variable through the replacement — both violate
+            # ElimLin's invariant.  A rewritten row is ``peq + eq``, so
+            # pending rows stay GF(2) combinations of the round's
+            # independent RREF rows: they can become neither ``1``
+            # (caught by the round-start check) nor ``0``.  Rows not
+            # mentioning the target are screened by one mask AND.
+            bit = 1 << target
+            sub = _substitution_fn(target, others, const)
+            for j in range(k + 1, len(pending)):
+                peq = pending[j]
+                if peq.support_mask() & bit:
+                    pending[j] = sub(peq)
         if not current:
             break
         system = current

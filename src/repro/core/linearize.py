@@ -5,6 +5,23 @@ linear system (paper section II-B).  Columns are ordered by *descending*
 degree-lexicographic monomial order with the constant column last, exactly
 as in the paper's Table I, so Gauss–Jordan pivots land on high-degree
 monomials first and the surviving low-degree rows are the learnable facts.
+
+Packed column layout
+--------------------
+The monomial→column map is interned by *monomial mask* (the width-adaptive
+int bitmasks every :class:`~repro.anf.polynomial.Poly` caches per
+monomial, see :mod:`repro.anf.monomial`), so the hot encode path hashes
+small ints instead of variable tuples.  Matrices are built in bulk: one
+flat (row, column) index pass over each polynomial's cached
+``monomial_masks()`` feeds :meth:`~repro.gf2.matrix.GF2Matrix.from_cells`,
+which scatters all 1-cells into the packed 64-bit-limb rows (the
+``from_masks`` / ``row_mask`` layout) with a single vectorised OR.
+Decoding is batch too: :meth:`~repro.gf2.matrix.GF2Matrix.rows_cols`
+bit-walks only the non-zero packed words of the reduced matrix, so the
+many all-zero rows an RREF leaves behind cost nothing.  The historical
+per-cell / per-row paths survive as ``to_matrix_scalar`` /
+``rows_to_polys_scalar`` — the equivalence oracle for tests and the
+baseline leg of the ``bench_solver_core`` linearisation benches.
 """
 
 from __future__ import annotations
@@ -34,6 +51,13 @@ class Linearization:
         self.column_of: Dict[Monomial, int] = {
             m: i for i, m in enumerate(self.columns)
         }
+        # Mask-keyed twin of ``column_of``: the encode hot path looks
+        # columns up by each Poly's cached per-monomial masks, paying an
+        # int hash instead of a tuple hash per term.
+        mask_of = mono.mask_of
+        self._col_of_mask: Dict[int, int] = {
+            mask_of(m): i for i, m in enumerate(self.columns)
+        }
 
     @property
     def n_cols(self) -> int:
@@ -41,10 +65,34 @@ class Linearization:
 
     def contains(self, p: Poly) -> bool:
         """True if every monomial of ``p`` has a column."""
-        return all(m in self.column_of for m in p.monomials)
+        col_of_mask = self._col_of_mask
+        return all(mk in col_of_mask for mk, _ in p.monomial_masks())
 
     def to_matrix(self, polynomials: Sequence[Poly]) -> GF2Matrix:
-        """Stack the polynomials as rows of a GF(2) matrix."""
+        """Stack the polynomials as rows of a GF(2) matrix.
+
+        Bulk path: one flat (row, column) index pass over the cached
+        per-monomial masks, then a single vectorised scatter into the
+        packed rows.  Raises ``KeyError`` if a monomial has no column.
+        """
+        col_of_mask = self._col_of_mask
+        row_idx: List[int] = []
+        col_idx: List[int] = []
+        for i, p in enumerate(polynomials):
+            for mk, _ in p.monomial_masks():
+                row_idx.append(i)
+                col_idx.append(col_of_mask[mk])
+        return GF2Matrix.from_cells(
+            row_idx, col_idx, len(polynomials), self.n_cols
+        )
+
+    def to_matrix_scalar(self, polynomials: Sequence[Poly]) -> GF2Matrix:
+        """Per-cell oracle twin of :meth:`to_matrix` (the seed path).
+
+        Sets one bit at a time through ``GF2Matrix.set``; kept as the
+        equivalence reference for tests and as the baseline leg of the
+        linearisation benches.
+        """
         m = GF2Matrix(len(polynomials), self.n_cols)
         for i, p in enumerate(polynomials):
             for monom in p.monomials:
@@ -56,7 +104,24 @@ class Linearization:
         return Poly(self.columns[j] for j in matrix.row_cols(row))
 
     def rows_to_polys(self, matrix: GF2Matrix) -> List[Poly]:
-        """All non-zero rows as polynomials."""
+        """All non-zero rows as polynomials, batch-decoded.
+
+        One vectorised pass finds the non-zero packed words; zero rows
+        (most of an RREF'd matrix) are never touched.  Distinct columns
+        decode to distinct monomials, so each row builds its polynomial
+        without a cancellation pass.
+        """
+        columns = self.columns
+        out = []
+        for cols in matrix.rows_cols():
+            if cols:
+                out.append(
+                    Poly._from_frozenset(frozenset(columns[j] for j in cols))
+                )
+        return out
+
+    def rows_to_polys_scalar(self, matrix: GF2Matrix) -> List[Poly]:
+        """Per-row oracle twin of :meth:`rows_to_polys` (the seed path)."""
         out = []
         for i in range(matrix.n_rows):
             p = self.row_to_poly(matrix, i)
@@ -97,7 +162,11 @@ def extract_facts(reduced: Iterable[Poly]) -> Tuple[List[Poly], List[Poly]]:
         if p.is_linear():
             linear.append(p)
             continue
-        ms = [m for m in p.monomials if m]
+        # Identity against the interned constant, not truthiness: the
+        # constant monomial must stay pinned even if a future monomial
+        # representation made empty-tuple falsiness an accident (see
+        # test_monomial.py::test_constant_monomial_identity).
+        ms = [m for m in p.monomials if m is not mono.ONE]
         if len(ms) == 1 and len(p.monomials) <= 2:
             monomials.append(p)
     return linear, monomials

@@ -8,13 +8,24 @@ reduced system are retained.
 Subsampling follows the paper: polynomials are drawn uniformly until the
 linearised system size ``m' * n'`` reaches ``2**M``, and the expansion is
 stopped once the size is near ``2**(M + δM)``.
+
+The expansion loop is mask-native: distinct monomials are tracked as a
+set of interned int bitmasks (one int hash per term instead of a tuple
+hash), a multiplier×support AND screens each product — a multiplier
+disjoint from the polynomial's support cannot cancel terms, so its
+product's monomial masks are one OR each, computed *before* any ``Poly``
+is built — and the row/column/size caps are enforced **before** a row is
+appended, so ``xl_max_rows`` / ``xl_max_cols`` / the ``2**(M + δM)``
+size cap can no longer be overshot by the final pushes and ``XlResult``
+reports overshoot-free counts.  The linearisation itself rides the
+packed bulk encode/decode of :mod:`repro.core.linearize`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from ..anf import monomial as mono
 from ..anf.polynomial import Poly
@@ -24,7 +35,11 @@ from .linearize import Linearization, extract_facts
 
 @dataclass
 class XlResult:
-    """Outcome of one XL invocation."""
+    """Outcome of one XL invocation.
+
+    ``expanded_rows`` and ``columns`` never exceed ``xl_max_rows`` /
+    ``xl_max_cols``: the caps are enforced before each push.
+    """
 
     facts: List[Poly] = field(default_factory=list)
     sampled: int = 0
@@ -40,12 +55,12 @@ def _subsample(
     rng.shuffle(order)
     target = 1 << target_bits
     chosen: List[Poly] = []
-    monomials = set()
+    monomial_masks: Set[int] = set()
     for idx in order:
         p = polys[idx]
         chosen.append(p)
-        monomials.update(p.monomials)
-        if len(chosen) * max(len(monomials), 1) >= target:
+        monomial_masks.update(mk for mk, _ in p.monomial_masks())
+        if len(chosen) * max(len(monomial_masks), 1) >= target:
             break
     return chosen
 
@@ -89,42 +104,95 @@ def run_xl(
 
     sample = _subsample(polys, config.xl_sample_bits, rng)
     result.sampled = len(sample)
-    variables = sorted({v for p in sample for v in p.variables()})
+    support = 0
+    for p in sample:
+        support |= p.support_mask()
+    variables = mono.bits_of(support)
 
     # Expand in ascending degree order of the source equation, stopping
-    # when the linearised size reaches 2**(M + δM) (or the hard caps).
+    # when the linearised size reaches 2**(M + δM) (or the hard caps) —
+    # checked *before* each append, so no cap is ever overshot.
     size_cap = 1 << (config.xl_sample_bits + config.xl_expand_allowance)
+    max_rows = config.xl_max_rows
+    max_cols = config.xl_max_cols
     expanded: List[Poly] = []
-    monomials = set()
+    # Distinct monomials as interned masks.  Seeded with the constant's
+    # mask (0): the linearisation always appends the constant column, so
+    # counting it from the start makes the cap check equal the reported
+    # ``columns`` exactly.
+    col_masks: Set[int] = {0}
     multipliers = _multipliers(variables, config.xl_degree)
+    mult_masks = [mono.mask_of(m) for m in multipliers]
 
-    def size_ok() -> bool:
+    def fits(n_rows: int, term_masks) -> bool:
+        """Would a row with these monomial masks stay within every cap?
+
+        Fast path: if even the upper bound (every term a new column)
+        fits, skip the membership scan entirely — the caps are only
+        counted precisely once the expansion gets near them.
+        """
+        hi = len(col_masks) + len(term_masks)
+        if (
+            n_rows <= max_rows
+            and hi <= max_cols
+            and n_rows * hi <= size_cap
+        ):
+            return True
+        n_cols = len(col_masks)
+        for mk in term_masks:
+            if mk not in col_masks:
+                n_cols += 1
         return (
-            len(expanded) * max(len(monomials), 1) < size_cap
-            and len(expanded) < config.xl_max_rows
-            and len(monomials) < config.xl_max_cols
+            n_rows <= max_rows
+            and n_cols <= max_cols
+            and n_rows * max(n_cols, 1) <= size_cap
         )
 
-    def push(p: Poly) -> None:
-        expanded.append(p)
-        monomials.update(p.monomials)
-
-    for p in sorted(sample, key=lambda q: q.degree()):
-        push(p)
-        if not size_ok():
+    stop = False
+    ordered = sorted(sample, key=lambda q: q.degree())
+    for p in ordered:
+        term_masks = [mk for mk, _ in p.monomial_masks()]
+        if not fits(len(expanded) + 1, term_masks):
+            stop = True
             break
-    if size_ok():
-        for p in sorted(sample, key=lambda q: q.degree()):
-            for m in multipliers:
-                q = p.mul_monomial(m)
-                if not q.is_zero():
-                    push(q)
-                if not size_ok():
+        expanded.append(p)
+        col_masks.update(term_masks)
+    if not stop:
+        for p in ordered:
+            pairs = p.monomial_masks()
+            pmask = p.support_mask()
+            for m, mmask in zip(multipliers, mult_masks):
+                if mmask & pmask:
+                    # Multiplier shares variables with p: products can
+                    # collide and cancel — build the real product.
+                    q = p.mul_monomial(m)
+                    if q.is_zero():
+                        continue
+                    term_masks = [mk for mk, _ in q.monomial_masks()]
+                else:
+                    # Disjoint multiplier: every product is one mask OR
+                    # and no two terms collide; the cap check needs no
+                    # Poly at all.
+                    q = None
+                    term_masks = [mk | mmask for mk, _ in pairs]
+                if not fits(len(expanded) + 1, term_masks):
+                    stop = True
                     break
-            if not size_ok():
+                if q is None:
+                    # Materialise the collision-free product from the
+                    # masks just computed — no second OR pass.
+                    from_mask = mono.from_mask
+                    q = Poly._from_frozenset(
+                        frozenset(from_mask(mk) for mk in term_masks)
+                    )
+                expanded.append(q)
+                col_masks.update(term_masks)
+            if stop:
                 break
 
     result.expanded_rows = len(expanded)
+    if not expanded:
+        return result
     lin = Linearization(expanded)
     result.columns = lin.n_cols
     matrix = lin.to_matrix(expanded)

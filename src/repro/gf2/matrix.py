@@ -31,25 +31,30 @@ class GF2Matrix:
     # -- construction --------------------------------------------------------
 
     @staticmethod
-    def from_rows(rows: Sequence[Iterable[int]], n_cols: int) -> "GF2Matrix":
-        """Build from an iterable of rows, each a set/list of 1-column indices.
+    def from_cells(
+        row_idx: Sequence[int],
+        col_idx: Sequence[int],
+        n_rows: int,
+        n_cols: int,
+    ) -> "GF2Matrix":
+        """Packed bulk constructor from parallel (row, column) index lists.
 
-        Vectorised: all (row, column) pairs are flattened once and OR-ed
-        into the packed words with a single ufunc call (duplicate column
-        indices within a row collapse, as before).
+        Every 1-cell is scattered straight into the packed 64-bit-limb
+        rows (the :meth:`from_masks` / :meth:`row_mask` layout) with one
+        vectorised OR — no per-cell ``set`` calls, no per-row loop.  This
+        is the linearisation layer's bulk entry point: callers that
+        already hold flat column indices (e.g. decoded from interned
+        monomial masks) skip the per-row flattening of
+        :meth:`from_rows`.  Duplicate cells collapse (OR semantics).
         """
-        m = GF2Matrix(len(rows), n_cols)
-        row_idx: List[int] = []
-        col_idx: List[int] = []
-        for i, cols in enumerate(rows):
-            for j in cols:
-                row_idx.append(i)
-                col_idx.append(j)
-        if not col_idx:
+        m = GF2Matrix(n_rows, n_cols)
+        if len(row_idx) != len(col_idx):
+            raise ValueError("row/column index lists differ in length")
+        if not len(col_idx):
             return m
         ri = np.asarray(row_idx, dtype=np.intp)
         cj = np.asarray(col_idx, dtype=np.intp)
-        bad = (cj < 0) | (cj >= n_cols)
+        bad = (cj < 0) | (cj >= n_cols) | (ri < 0) | (ri >= n_rows)
         if bad.any():
             raise IndexError(
                 "({}, {}) out of range".format(
@@ -59,6 +64,22 @@ class GF2Matrix:
         masks = np.uint64(1) << (cj & 63).astype(np.uint64)
         np.bitwise_or.at(m._data, (ri, cj >> 6), masks)
         return m
+
+    @staticmethod
+    def from_rows(rows: Sequence[Iterable[int]], n_cols: int) -> "GF2Matrix":
+        """Build from an iterable of rows, each a set/list of 1-column indices.
+
+        Vectorised: all (row, column) pairs are flattened once and OR-ed
+        into the packed words via :meth:`from_cells` (duplicate column
+        indices within a row collapse, as before).
+        """
+        row_idx: List[int] = []
+        col_idx: List[int] = []
+        for i, cols in enumerate(rows):
+            for j in cols:
+                row_idx.append(i)
+                col_idx.append(j)
+        return GF2Matrix.from_cells(row_idx, col_idx, len(rows), n_cols)
 
     @staticmethod
     def from_dense(array) -> "GF2Matrix":
@@ -179,6 +200,30 @@ class GF2Matrix:
             while word:
                 low = word & -word
                 out.append(base + low.bit_length() - 1)
+                word ^= low
+        return out
+
+    def rows_cols(self) -> List[List[int]]:
+        """Column indices of the 1-entries of *every* row, batch-decoded.
+
+        One vectorised ``nonzero`` finds the non-zero packed words, and
+        only those are bit-walked — all-zero rows (most of an RREF'd
+        linearisation) and all-zero words cost nothing, unlike calling
+        :meth:`row_cols` per row, which pays a numpy scalar conversion
+        for every word of every row.  ``out[i]`` is ascending; empty for
+        zero rows.
+        """
+        out: List[List[int]] = [[] for _ in range(self.n_rows)]
+        ri, wi = np.nonzero(self._data)
+        if not ri.size:
+            return out
+        words = self._data[ri, wi]
+        for r, w, word in zip(ri.tolist(), wi.tolist(), words.tolist()):
+            base = w << 6
+            row = out[r]
+            while word:
+                low = word & -word
+                row.append(base + low.bit_length() - 1)
                 word ^= low
         return out
 

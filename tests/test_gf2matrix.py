@@ -158,3 +158,38 @@ def test_solve_affine_verifies(rows, x):
     assert y is not None
     check = (a @ np.array(y, dtype=np.uint8)) % 2
     assert check.tolist() == b.tolist()
+
+
+def test_from_cells_matches_from_rows():
+    rows = [[0, 65, 129], [], [64], [1, 1, 2]]
+    a = GF2Matrix.from_rows(rows, 130)
+    row_idx = [i for i, cols in enumerate(rows) for _ in cols]
+    col_idx = [j for cols in rows for j in cols]
+    b = GF2Matrix.from_cells(row_idx, col_idx, len(rows), 130)
+    assert (a.to_dense() == b.to_dense()).all()
+
+
+def test_from_cells_validates():
+    with pytest.raises(ValueError):
+        GF2Matrix.from_cells([0], [1, 2], 1, 3)
+    with pytest.raises(IndexError):
+        GF2Matrix.from_cells([0], [3], 1, 3)
+    with pytest.raises(IndexError):
+        GF2Matrix.from_cells([1], [0], 1, 3)
+    empty = GF2Matrix.from_cells([], [], 2, 5)
+    assert empty.n_rows == 2 and empty.n_cols == 5
+    assert not empty.to_dense().any()
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 129), max_size=6), min_size=1, max_size=8
+    )
+)
+def test_rows_cols_matches_row_cols(rows):
+    m = GF2Matrix.from_rows(rows, 130)
+    bulk = m.rows_cols()
+    assert len(bulk) == m.n_rows
+    for i in range(m.n_rows):
+        assert bulk[i] == m.row_cols(i)

@@ -77,6 +77,49 @@ x1*x2 + x3
     assert set(monos) == set(polys_of("x1*x2 + 1\nx1*x2*x3"))
 
 
+def test_packed_matrix_matches_scalar_oracle():
+    """Bulk encode/decode must agree with the per-cell/per-row seed path,
+    including beyond 64 variables (multi-limb masks, multi-word rows)."""
+    import random
+
+    from repro.anf.polynomial import Poly
+
+    rng = random.Random(3)
+    polys = []
+    for _ in range(40):
+        ms = []
+        for _ in range(rng.randrange(1, 6)):
+            deg = rng.randrange(0, 4)
+            ms.append(tuple(sorted(rng.sample(range(0, 130), deg))))
+        polys.append(Poly(ms))
+    polys = [p for p in polys if not p.is_zero()]
+    lin = Linearization(polys)
+    packed = lin.to_matrix(polys)
+    scalar = lin.to_matrix_scalar(polys)
+    assert (packed.to_dense() == scalar.to_dense()).all()
+    packed.rref()
+    assert lin.rows_to_polys(packed) == lin.rows_to_polys_scalar(packed)
+
+
+def test_to_matrix_unknown_monomial_raises():
+    polys = polys_of("x1*x2 + x3")
+    lin = Linearization(polys)
+    import pytest
+
+    with pytest.raises(KeyError):
+        lin.to_matrix(polys_of("x4"))
+
+
+def test_extract_facts_drops_interned_constant():
+    """The constant filter is identity against ``mono.ONE`` — a bare
+    ``m ⊕ 1`` classifies as a monomial fact, a two-monomial nonlinear
+    row without a constant does not."""
+    _, monos = extract_facts(polys_of("x1*x2 + 1"))
+    assert monos == polys_of("x1*x2 + 1")
+    _, monos = extract_facts(polys_of("x1*x2 + x3*x4"))
+    assert monos == []
+
+
 def test_gje_consistency_preserves_solutions():
     """Row reduction never changes the solution set."""
     polys = polys_of("x1*x2 + x3\nx1 + x2\nx2*x3 + x1 + 1")

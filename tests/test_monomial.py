@@ -87,3 +87,23 @@ def test_mul_idempotent(a):
 def test_divides_iff_subset(a, b):
     ma, mb = mono.make(a), mono.make(b)
     assert mono.divides(ma, mb) == set(ma).issubset(set(mb))
+
+
+def test_constant_monomial_identity():
+    """The constant monomial stays the falsy interned empty tuple.
+
+    ``extract_facts`` (and several classifiers) filter the constant out
+    of a polynomial's monomials by identity against ``mono.ONE``; this
+    pins that every path — literal, ``make``, ``intern``, ``from_mask``,
+    mask arithmetic — yields that exact object, and that it stays falsy
+    under the interned mask representation.
+    """
+    assert not mono.ONE  # falsy: `if m` skips exactly the constant
+    assert mono.ONE == ()
+    assert mono.mask_of(mono.ONE) == 0
+    assert mono.make([]) is mono.ONE
+    assert mono.intern(()) is mono.ONE
+    assert mono.from_mask(0) is mono.ONE
+    assert mono.remove((5,), 5) is mono.ONE
+    # CPython interns the empty tuple, so even a raw () is the constant.
+    assert tuple([]) is mono.ONE

@@ -222,3 +222,43 @@ def test_substitution_evaluation_consistency(p, var, replacement, assignment):
 def test_hash_equals_imply_equal(p):
     q = Poly(p.monomials)
     assert p == q and hash(p) == hash(q)
+
+
+def test_substitute_mask_native_matches_tuple_oracle():
+    """The mask-native substitute kernel must agree with the pre-mask
+    remove/mul loop at any width (here: across the one-limb boundary)."""
+    import random
+
+    from repro.anf import monomial as mono
+
+    rng = random.Random(9)
+    for _ in range(60):
+        width = rng.choice([10, 63, 64, 65, 100])
+        ms = []
+        for _ in range(rng.randrange(1, 6)):
+            deg = rng.randrange(0, 4)
+            ms.append(tuple(sorted(rng.sample(range(width), deg))))
+        p = Poly(ms)
+        var = rng.randrange(width)
+        rep_ms = []
+        for _ in range(rng.randrange(0, 4)):
+            deg = rng.randrange(0, 3)
+            rep_ms.append(tuple(sorted(rng.sample(range(width), deg))))
+        replacement = Poly(rep_ms)
+        got = p.substitute(var, replacement)
+        with mono.tuple_oracle():
+            want = p.substitute(var, replacement)
+        assert got == want
+
+
+def test_substitute_negative_variable_raises():
+    import pytest
+
+    from repro.anf import monomial as mono
+
+    p = Poly([(1,), ()])
+    with pytest.raises(ValueError):
+        p.substitute(-1, Poly.zero())
+    with mono.tuple_oracle():
+        with pytest.raises(ValueError):
+            p.substitute(-1, Poly.zero())

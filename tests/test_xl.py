@@ -70,6 +70,29 @@ def test_size_caps_respected():
     assert result.expanded_rows <= 50
 
 
+def test_caps_enforced_before_push():
+    """Regression: the caps are checked before appending, so the final
+    pushes can no longer overshoot xl_max_rows / xl_max_cols / the
+    2**(M + δM) size cap (the old engine pushed first and checked
+    after, overshooting by up to one row's worth of columns)."""
+    polys = polys_of("\n".join(
+        "x{}*x{} + x{}*x{} + x{}".format(i, i + 1, i + 2, i + 3, i + 4)
+        for i in range(1, 60)
+    ))
+    for cfg in [
+        Config(xl_sample_bits=6, xl_expand_allowance=1, xl_degree=1,
+               xl_max_rows=23, xl_max_cols=37),
+        Config(xl_sample_bits=5, xl_expand_allowance=2, xl_degree=2,
+               xl_max_rows=200, xl_max_cols=61),
+        Config(xl_sample_bits=8, xl_expand_allowance=0, xl_degree=1),
+    ]:
+        result = run_xl(polys, cfg)
+        size_cap = 1 << (cfg.xl_sample_bits + cfg.xl_expand_allowance)
+        assert result.expanded_rows <= cfg.xl_max_rows
+        assert result.columns <= cfg.xl_max_cols
+        assert result.expanded_rows * result.columns <= size_cap
+
+
 def test_degree2_multipliers():
     polys = polys_of("x1*x2 + x3\nx1 + x2 + x3")
     result = run_xl(polys, Config(xl_sample_bits=10, xl_degree=2))
