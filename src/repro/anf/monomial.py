@@ -230,6 +230,46 @@ def mask_from_words(words: Iterable[int]) -> int:
     return mask
 
 
+def compress_mask(mask: int, support_mask: int) -> int:
+    """Compress ``mask`` onto the set-bit positions of ``support_mask``.
+
+    A pure-Python PEXT: bit ``i`` of the result is the bit of ``mask``
+    at the position of the i-th set bit (ascending) of ``support_mask``.
+    ``mask`` must be a subset of ``support_mask``.  This is the
+    order-preserving renaming ``support[i] -> i`` on masks, the basis of
+    the ANF→CNF layer's canonical *shape keys*: two short polynomials
+    whose term masks compress to the same local masks are identical up
+    to that renaming and share one Karnaugh minimisation.
+    """
+    if mask & ~support_mask:
+        raise ValueError("mask is not a subset of the support mask")
+    out = 0
+    i = 0
+    walk = support_mask
+    while walk:
+        low = walk & -walk
+        walk ^= low
+        if mask & low:
+            out |= 1 << i
+        i += 1
+    return out
+
+
+def shape_key(masks: Iterable[int], support_mask: int, rhs: int) -> tuple:
+    """Canonical shape of a short polynomial chunk: the sorted tuple of
+    support-compressed term masks plus the constant.
+
+    Chunks with equal keys are the same Boolean function up to the
+    order-preserving variable renaming of :func:`compress_mask`, so one
+    minimised cube cover (in local-index space) serves all of them.
+    """
+    return (
+        support_mask.bit_count(),
+        tuple(sorted(compress_mask(mk, support_mask) for mk in masks)),
+        rhs & 1,
+    )
+
+
 def assignment_mask(assignment: Sequence[int]) -> int:
     """Pack a 0/1 assignment sequence into a mask (bit ``v`` = value of
     ``x_v``), for the mask-based evaluation fast path."""

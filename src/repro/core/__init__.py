@@ -29,7 +29,7 @@ from .linearize import Linearization, extract_facts, gauss_jordan
 from .probing import ProbeResult, run_probing
 from .propagation import PropagationStats, materialize, propagate, state_polynomials
 from .satlearn import SatLearnResult, run_sat
-from .solution import Solution
+from .solution import Solution, reconstruct_model, solution_from_model
 from .xl import XlResult, run_xl
 
 __all__ = [
@@ -77,4 +77,6 @@ __all__ = [
     "s_polynomial",
     "GroebnerResult",
     "Solution",
+    "reconstruct_model",
+    "solution_from_model",
 ]

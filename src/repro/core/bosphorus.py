@@ -88,6 +88,11 @@ class Bosphorus:
     ):
         self.config = config or Config()
         self.inner_solver_config = inner_solver_config
+        # One converter per workflow: its structure-keyed Karnaugh cache
+        # is shared across the inner-SAT conversions of every iteration,
+        # the final conversion and the CNF augmentation, so structurally
+        # repeated chunks (cipher rounds) are minimised once per run.
+        self.converter = AnfToCnf(self.config)
 
     # -- entry points ---------------------------------------------------------
 
@@ -128,6 +133,11 @@ class Bosphorus:
         status = STATUS_UNKNOWN
         iterations = 0
         technique_stats: List[Dict[str, object]] = []
+        # Run-wide Karnaugh-cache accounting: the shared converter is
+        # invoked once per use_sat iteration plus once for the final
+        # CNF, and each conversion carries fresh counters — sum them so
+        # the reported numbers reflect the whole run.
+        cache_hits = cache_misses = 0
         # Snapshot the monomial-layer fallback counter: the whole run —
         # propagation, XL/ElimLin, probing, conversion — must stay on the
         # width-adaptive mask path, and the delta is reported so tests
@@ -172,10 +182,19 @@ class Bosphorus:
 
                 if config.use_sat:
                     sat_res = run_sat(
-                        system, config, sat_budget, self.inner_solver_config
+                        system,
+                        config,
+                        sat_budget,
+                        self.inner_solver_config,
+                        converter=self.converter,
                     )
                     it_stats["sat_status"] = sat_res.status
                     it_stats["sat_conflicts"] = sat_res.conflicts
+                    if sat_res.conversion is not None:
+                        cache_hits += sat_res.conversion.stats.karnaugh_cache_hits
+                        cache_misses += (
+                            sat_res.conversion.stats.karnaugh_cache_misses
+                        )
                     if sat_res.status is UNSAT:
                         raise ContradictionError("SAT solver proved UNSAT")
                     added = self._absorb(system, facts, sat_res.facts, SOURCE_SAT)
@@ -202,7 +221,7 @@ class Bosphorus:
             )
 
         processed = materialize(system)
-        conversion = AnfToCnf(self.config).convert(system)
+        conversion = self.converter.convert(system)
         return BosphorusResult(
             status=status,
             facts=facts,
@@ -216,6 +235,10 @@ class Bosphorus:
                 "techniques": technique_stats,
                 "fact_summary": facts.summary(),
                 "mask_fallback_hits": mono.fallback_hits() - fallback_base,
+                "karnaugh_cache_hits": cache_hits
+                + conversion.stats.karnaugh_cache_hits,
+                "karnaugh_cache_misses": cache_misses
+                + conversion.stats.karnaugh_cache_misses,
             },
         )
 
@@ -279,8 +302,18 @@ class Bosphorus:
             if all(v < original.n_vars for v in p.variables())
         ]
         if fact_polys:
-            conv = AnfToCnf(self.config).convert_polynomials(
+            conv = self.converter.convert_polynomials(
                 fact_polys, n_vars=original.n_vars
+            )
+            # This conversion is part of the run: fold its cache
+            # counters into the run-wide totals _run_loop assembled.
+            result.stats["karnaugh_cache_hits"] = (
+                result.stats.get("karnaugh_cache_hits", 0)
+                + conv.stats.karnaugh_cache_hits
+            )
+            result.stats["karnaugh_cache_misses"] = (
+                result.stats.get("karnaugh_cache_misses", 0)
+                + conv.stats.karnaugh_cache_misses
             )
             for clause in conv.formula.clauses:
                 augmented.add_clause(clause)

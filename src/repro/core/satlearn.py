@@ -46,11 +46,21 @@ def run_sat(
     config: Optional[Config] = None,
     conflict_budget: Optional[int] = None,
     solver_config: Optional[SolverConfig] = None,
+    converter: Optional[AnfToCnf] = None,
 ) -> SatLearnResult:
-    """Convert, solve under a conflict budget, and harvest learnt facts."""
+    """Convert, solve under a conflict budget, and harvest learnt facts.
+
+    Pass a long-lived ``converter`` to share its structure-keyed Karnaugh
+    cache across invocations (the Bosphorus loop converts the same round
+    structures every iteration).  The converter carries its own config:
+    when one is passed, *its* conversion parameters (K, L,
+    ``emit_xor_clauses``) are the ones used — ``config`` then only
+    governs the conflict budget and fact harvesting, so build the
+    converter from the same config unless you mean them to differ.
+    """
     config = config or Config()
     budget = conflict_budget if conflict_budget is not None else config.sat_conflict_start
-    conversion = AnfToCnf(config).convert(system)
+    conversion = (converter or AnfToCnf(config)).convert(system)
     solver = Solver(solver_config)
     solver.ensure_vars(conversion.formula.n_vars)
     ok = True

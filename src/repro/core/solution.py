@@ -1,11 +1,77 @@
-"""Solutions and their verification."""
+"""Solutions, their verification, and CNF-model reconstruction.
+
+:func:`reconstruct_model` closes the ANF→CNF→SAT round trip: given a
+:class:`~repro.core.anf_to_cnf.ConversionResult` and a model of its CNF,
+it inverts the conversion's auxiliary variables — Tseitin monomial
+variables are checked against the AND of their monomial's bits, cut
+variables (free partial-XOR accumulators) are dropped — and returns the
+assignment over the original ANF variables, ready to evaluate on the
+source system.  The round-trip harness
+(``tests/test_roundtrip_model.py``) drives random systems through
+convert → solve → reconstruct → evaluate and pins that every SAT model
+satisfies the source ANF.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..anf.polynomial import Poly
+from ..sat.types import TRUE
+
+
+def reconstruct_model(
+    conversion, cnf_model: Sequence[int], strict: bool = True
+) -> Dict[int, int]:
+    """Translate a CNF model back to an assignment of the ANF variables.
+
+    ``conversion`` is the :class:`~repro.core.anf_to_cnf.ConversionResult`
+    that produced the formula; ``cnf_model`` is a model of it, indexed by
+    CNF variable — either plain 0/1 bits or the solver's tri-state values
+    (``repro.sat.types.TRUE`` counts as 1, everything else — FALSE or an
+    unassigned UNDEF — as 0; a variable the formula never constrained is
+    free, and 0 is a valid completion).  Variables beyond the model's
+    length default to 0.
+
+    Returns ``{var: bit}`` for every original ANF variable
+    (``0 <= var < n_anf_vars``).  The auxiliaries are *inverted*, not
+    copied: cut variables carry no ANF meaning and are dropped, and with
+    ``strict`` (the default) every Tseitin monomial variable is checked
+    against the AND of its monomial's reconstructed bits — a mismatch
+    means the model does not actually satisfy the AND-definition clauses
+    (a corrupt model or a stale conversion map) and raises ``ValueError``.
+    """
+
+    def bit(v: int) -> int:
+        if 0 <= v < len(cnf_model):
+            return 1 if cnf_model[v] == TRUE else 0
+        return 0
+
+    model = {v: bit(v) for v in range(conversion.n_anf_vars)}
+    if strict:
+        for y, m in conversion.monomial_of_var.items():
+            if y < conversion.n_anf_vars:
+                continue
+            expected = 1
+            for v in m:
+                if not bit(v):
+                    expected = 0
+                    break
+            if bit(y) != expected:
+                raise ValueError(
+                    "monomial variable {} (= {}) has value {} but its "
+                    "monomial evaluates to {}".format(y, m, bit(y), expected)
+                )
+    return model
+
+
+def solution_from_model(
+    conversion, cnf_model: Sequence[int], strict: bool = True
+) -> "Solution":
+    """:func:`reconstruct_model` packaged as a :class:`Solution`."""
+    model = reconstruct_model(conversion, cnf_model, strict=strict)
+    return Solution([model[v] for v in range(conversion.n_anf_vars)])
 
 
 @dataclass

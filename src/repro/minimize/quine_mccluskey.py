@@ -111,7 +111,10 @@ def minimize(
     covers the residue exactly when the search space is small (bounded by
     ``exact_limit`` candidate/minterm products) and greedily otherwise.
     Returns a list of cubes covering every minterm and no point outside
-    the on/dc sets.
+    the on/dc sets, in canonical sorted order — the cover is a pure
+    function of ``(on-set, dc-set, n_vars)``, which is what lets the
+    ANF→CNF layer share one cover across structurally identical chunks
+    (and the differential tests compare clause lists bit for bit).
     """
     on = sorted(set(minterms))
     if not on:
@@ -164,6 +167,7 @@ def minimize(
                 extra.append(cube)
                 rem -= cov
         chosen.extend(extra)
+    chosen.sort()
     return chosen
 
 

@@ -4,13 +4,29 @@ The ANF→CNF Karnaugh path (paper section III-C approach 1) evaluates the
 polynomial over all assignments of its support and minimises the resulting
 on-set.  With the paper's Karnaugh parameter K = 8 this is at most 256
 evaluations.
+
+The production path is :func:`truth_table_masks`: the chunk's terms
+arrive as support-compressed local bitmasks (see
+:func:`repro.anf.monomial.compress_mask`) and all ``2**K`` assignments
+are evaluated in one numpy broadcast — a monomial is 1 exactly when its
+mask is a subset of the assignment index, so the whole table is one
+``(assignments x terms)`` subset test plus a parity reduction.  The
+per-row Python loop survives as :func:`truth_table`, the equivalence
+oracle and bench baseline.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from ..anf.polynomial import Poly
+
+#: Widest support the batch evaluator accepts.  ``2**n`` table rows stop
+#: being "small" long before this; the bound just keeps the uint64
+#: assignment indices exact.
+MAX_BATCH_VARS = 20
 
 
 def truth_table(poly: Poly, variables: Sequence[int]) -> List[int]:
@@ -20,6 +36,9 @@ def truth_table(poly: Poly, variables: Sequence[int]) -> List[int]:
     returned minterms are exactly the assignments where the polynomial
     evaluates to 1 — i.e. the assignments *forbidden* by the equation
     ``poly = 0``.
+
+    Python loop per assignment; kept as the oracle twin of
+    :func:`truth_table_masks` (the ``bench_anf_to_cnf`` baseline leg).
     """
     n = len(variables)
     on = []
@@ -30,6 +49,38 @@ def truth_table(poly: Poly, variables: Sequence[int]) -> List[int]:
         if poly.evaluate(assignment):
             on.append(m)
     return on
+
+
+def truth_table_masks(
+    local_masks: Sequence[int], n_vars: int, rhs: int = 0
+) -> List[int]:
+    """On-set of ``XOR of AND-terms + rhs`` over ``n_vars`` local variables.
+
+    ``local_masks[t]`` is the bitmask of term ``t`` over the local
+    variables ``0..n_vars-1`` (bit ``i`` of a minterm index is the value
+    of local variable ``i``, matching :func:`truth_table` with
+    ``variables[i] -> i``).  All ``2**n_vars`` assignments are evaluated
+    at once: term ``t`` holds on assignment ``a`` iff
+    ``a & mask_t == mask_t``, and the polynomial's value is the GF(2)
+    parity of the holding terms XOR ``rhs``.  Returns the minterm
+    indices where the value is 1, ascending.
+    """
+    if not 0 <= n_vars <= MAX_BATCH_VARS:
+        raise ValueError(
+            "batch truth table supports 0..{} variables, got {}".format(
+                MAX_BATCH_VARS, n_vars
+            )
+        )
+    size = 1 << n_vars
+    if not local_masks:
+        return list(range(size)) if rhs & 1 else []
+    assignments = np.arange(size, dtype=np.uint64)[:, None]
+    terms = np.asarray(list(local_masks), dtype=np.uint64)[None, :]
+    hits = (assignments & terms) == terms
+    parity = np.bitwise_xor.reduce(hits, axis=1)
+    if rhs & 1:
+        parity = ~parity
+    return np.flatnonzero(parity).tolist()
 
 
 def poly_support(poly: Poly) -> Tuple[int, ...]:

@@ -31,13 +31,32 @@ class CnfFormula:
         self.clauses.append(lits)
 
     def add_xor(self, variables: List[int], rhs: int) -> None:
+        # Normalise the empty constraint here: "0 = rhs" is trivially
+        # true (drop) or a plain contradiction (empty clause).  Stored
+        # xors therefore always have variables, so write_dimacs never
+        # emits an "x 0" line — which would read back as the empty
+        # *clause* and flip a true constraint to false.
+        if not variables:
+            if rhs & 1:
+                self.add_clause([])
+            return
         for v in variables:
             self.n_vars = max(self.n_vars, v + 1)
         self.xors.append((variables, rhs & 1))
 
 
-def parse_dimacs(text: str) -> CnfFormula:
-    """Parse DIMACS text into a :class:`CnfFormula`."""
+def parse_dimacs(text: str, strict: bool = False) -> CnfFormula:
+    """Parse DIMACS text into a :class:`CnfFormula`.
+
+    The default parse is lenient, as most solvers are: the ``p cnf``
+    header is optional, and its declared variable/clause counts are
+    treated as hints (the variable pool grows to cover whatever the
+    clauses actually mention).  With ``strict=True`` the header becomes
+    a contract: it must be present and appear at most once, the declared
+    clause count must equal the number of clause + xor lines, and no
+    literal may reference a variable beyond the declared count — any
+    mismatch raises :class:`DimacsError`.
+    """
     formula = CnfFormula()
     declared = None
     for raw in text.splitlines():
@@ -48,9 +67,15 @@ def parse_dimacs(text: str) -> CnfFormula:
             parts = line.split()
             if len(parts) != 4 or parts[1] != "cnf":
                 raise DimacsError("bad problem line: {!r}".format(line))
+            if strict and declared is not None:
+                raise DimacsError("duplicate problem line: {!r}".format(line))
             declared = (int(parts[2]), int(parts[3]))
             formula.n_vars = max(formula.n_vars, declared[0])
             continue
+        if strict and declared is None:
+            raise DimacsError(
+                "clause before the problem line: {!r}".format(raw)
+            )
         is_xor = False
         if line.startswith("x"):
             is_xor = True
@@ -75,12 +100,29 @@ def parse_dimacs(text: str) -> CnfFormula:
             formula.add_xor(variables, rhs)
         else:
             formula.add_clause([lit_from_dimacs(n) for n in nums])
+    if strict:
+        if declared is None:
+            raise DimacsError("missing problem line")
+        n_declared_vars, n_declared_clauses = declared
+        n_constraints = len(formula.clauses) + len(formula.xors)
+        if n_constraints != n_declared_clauses:
+            raise DimacsError(
+                "header declares {} clauses but {} were given".format(
+                    n_declared_clauses, n_constraints
+                )
+            )
+        if formula.n_vars > n_declared_vars:
+            raise DimacsError(
+                "header declares {} variables but variable {} is used".format(
+                    n_declared_vars, formula.n_vars
+                )
+            )
     return formula
 
 
-def read_dimacs(f: TextIO) -> CnfFormula:
+def read_dimacs(f: TextIO, strict: bool = False) -> CnfFormula:
     """Read DIMACS from an open file."""
-    return parse_dimacs(f.read())
+    return parse_dimacs(f.read(), strict=strict)
 
 
 def write_dimacs(f: TextIO, formula: CnfFormula, comments: List[str] = ()) -> None:

@@ -187,3 +187,28 @@ def test_convenience_wrappers():
     ring, polys = parse_system("x1 + 1")
     result = preprocess_anf(ring, polys)
     assert result.status != STATUS_UNSAT
+
+
+def test_result_reports_run_wide_karnaugh_cache_stats():
+    """The shared converter's cache counters are summed over every
+    conversion of the run (inner-SAT iterations + the final CNF), not
+    just the last one."""
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    # SAT-only so the inner conversions actually see Karnaugh chunks
+    # (XL solves this system outright before any conversion runs).
+    cfg = Config(
+        use_xl=False, use_elimlin=False, stop_on_solution=False
+    )
+    result = Bosphorus(cfg).preprocess_anf(ring, polys)
+    hits = result.stats["karnaugh_cache_hits"]
+    misses = result.stats["karnaugh_cache_misses"]
+    assert misses >= 1  # something was minimised during the run
+    final = result.conversion.stats
+    assert hits >= final.karnaugh_cache_hits
+    # The first inner-SAT conversion runs cold, so its misses must show
+    # in the run-wide total even when the final conversion (warm cache,
+    # or an all-units system) reports none.
+    assert misses >= final.karnaugh_cache_misses
+    assert (hits + misses) > (
+        final.karnaugh_cache_hits + final.karnaugh_cache_misses
+    )

@@ -92,3 +92,62 @@ def test_variable_mapping_is_identity():
     result = cnf_to_anf(formula)
     assert result.n_cnf_vars == 5
     assert result.ring.n_vars >= 5
+
+
+def test_clause_to_poly_mask_matches_tuple_oracle():
+    """The mask-native clause expansion is the tuple oracle's equal."""
+    import random
+
+    from repro.anf import monomial as mono
+
+    rng = random.Random(5)
+    for _ in range(40):
+        lits = [
+            mk_lit(rng.randrange(70), rng.random() < 0.5)
+            for _ in range(rng.randint(1, 5))
+        ]
+        fast = clause_to_poly(lits)
+        with mono.tuple_oracle():
+            slow = clause_to_poly(lits)
+        assert fast == slow
+
+
+def test_back_translation_of_converted_anf_preserves_models():
+    """ANF → CNF → ANF round trip: the conversion's cut and monomial
+    auxiliaries come back as ordinary variables whose projection to the
+    original ANF variables preserves the solution set exactly."""
+    from repro.anf import Poly
+    from repro.core import AnfToCnf
+
+    polys = [
+        Poly([(0, 1), (2,), (3,), ()]),  # x0x1 + x2 + x3 + 1
+        Poly([(1, 2), (0,), (3,)]),
+        Poly([(0,), (1,), (2,), (3,), (4,)]),
+    ]
+    n = 5
+    original = set()
+    for bits in itertools.product([0, 1], repeat=n):
+        if all(p.evaluate(list(bits)) == 0 for p in polys):
+            original.add(bits)
+    # Force both auxiliary kinds: tiny K (Tseitin monomial vars) and
+    # tiny L (cut vars).
+    conv = AnfToCnf(Config(karnaugh_limit=1, xor_cut_len=3)).convert_polynomials(
+        polys, n_vars=n
+    )
+    assert conv.cut_vars and conv.stats.monomial_vars > 0
+    back = cnf_to_anf(conv.formula, Config(clause_cut_len=4))
+    # Every CNF variable of the intermediate formula is an original,
+    # monomial or cut variable; back-translation then adds its own
+    # clause-cutting auxiliaries on top.
+    for v in range(conv.formula.n_vars):
+        assert (
+            conv.is_original_var(v)
+            or conv.is_monomial_var(v)
+            or conv.is_cut_var(v)
+        )
+    n_total = back.ring.n_vars
+    projected = set()
+    for bits in itertools.product([0, 1], repeat=n_total):
+        if all(p.evaluate(list(bits)) == 0 for p in back.polynomials):
+            projected.add(bits[:n])
+    assert projected == original

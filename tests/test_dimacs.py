@@ -72,6 +72,94 @@ def test_write_read_roundtrip():
     assert g.xors == f.xors
 
 
+def test_write_read_roundtrip_with_comments_and_empty_clause():
+    f = CnfFormula(3)
+    f.add_clause([mk_lit(0), mk_lit(2, True)])
+    f.add_clause([])
+    f.add_xor([0, 2], 1)
+    buf = io.StringIO()
+    write_dimacs(buf, f, comments=["line one", "line two"])
+    text = buf.getvalue()
+    assert text.startswith("c line one\nc line two\n")
+    g = parse_dimacs(text)
+    assert g.n_vars == 3
+    assert g.clauses == f.clauses
+    assert g.xors == f.xors
+
+
+def test_written_dimacs_parses_strict():
+    """write_dimacs output always satisfies the strict contract: header
+    present, clause count exact (xor lines included), vars in range."""
+    f = CnfFormula(4)
+    f.add_clause([mk_lit(0), mk_lit(3, True)])
+    f.add_clause([mk_lit(1)])
+    f.add_xor([0, 1, 2], 1)
+    buf = io.StringIO()
+    write_dimacs(buf, f, comments=["strict roundtrip"])
+    g = parse_dimacs(buf.getvalue(), strict=True)
+    assert g.clauses == f.clauses
+    assert g.xors == f.xors
+
+
+def test_strict_rejects_clause_count_mismatch():
+    # One declared, two given — and the xor-line variant of the same.
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 2 1\n1 0\n2 0\n", strict=True)
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 3 1\nx1 2 3 0\nx-1 2 0\n", strict=True)
+    # Two declared, one given.
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 2 2\n1 -2 0\n", strict=True)
+    # The lenient default accepts all three.
+    assert len(parse_dimacs("p cnf 2 1\n1 0\n2 0\n").clauses) == 2
+
+
+def test_strict_rejects_variable_beyond_header():
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 2 1\n1 -3 0\n", strict=True)
+    assert parse_dimacs("p cnf 2 1\n1 -3 0\n").n_vars == 3
+
+
+def test_strict_requires_header():
+    with pytest.raises(DimacsError):
+        parse_dimacs("1 -2 0\n", strict=True)
+    with pytest.raises(DimacsError):
+        parse_dimacs("", strict=True)
+    assert parse_dimacs("1 -2 0\n").n_vars == 2
+
+
+def test_strict_rejects_duplicate_header_and_late_header():
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 2 1\np cnf 2 1\n1 0\n", strict=True)
+    with pytest.raises(DimacsError):
+        parse_dimacs("1 0\np cnf 2 1\n", strict=True)
+
+
+def test_empty_xor_normalised_at_add():
+    """An empty XOR is 0 = rhs: trivially true (dropped) or an outright
+    contradiction (stored as the empty clause) — never written as an
+    'x 0' line, which would parse back as the empty clause and flip a
+    satisfiable formula to UNSAT."""
+    f = CnfFormula(2)
+    f.add_clause([mk_lit(0)])
+    f.add_xor([], 0)  # trivially true: must vanish
+    assert f.xors == [] and f.clauses == [[mk_lit(0)]]
+    buf = io.StringIO()
+    write_dimacs(buf, f)
+    g = parse_dimacs(buf.getvalue(), strict=True)
+    assert g.clauses == f.clauses and g.xors == []
+    f.add_xor([], 1)  # 0 = 1: the contradiction
+    assert [] in f.clauses
+
+
+def test_strict_read_dimacs_passthrough():
+    good = io.StringIO("p cnf 2 1\n1 -2 0\n")
+    assert read_dimacs(good, strict=True).n_vars == 2
+    bad = io.StringIO("p cnf 2 9\n1 -2 0\n")
+    with pytest.raises(DimacsError):
+        read_dimacs(bad, strict=True)
+
+
 def test_n_vars_grows_with_clauses():
     f = CnfFormula()
     f.add_clause([mk_lit(9)])
