@@ -43,9 +43,19 @@ from .core import (
     preprocess_anf,
     preprocess_cnf,
 )
+from .portfolio import (
+    BatchScheduler,
+    CdclBackend,
+    DimacsBackend,
+    PortfolioRunner,
+    PortfolioStats,
+    SolverBackend,
+    create_backend,
+    default_portfolio,
+)
 from .sat import CnfFormula, Solver, SolverConfig, parse_dimacs, write_dimacs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Poly",
@@ -71,5 +81,13 @@ __all__ = [
     "CnfFormula",
     "parse_dimacs",
     "write_dimacs",
+    "SolverBackend",
+    "CdclBackend",
+    "DimacsBackend",
+    "create_backend",
+    "default_portfolio",
+    "PortfolioRunner",
+    "PortfolioStats",
+    "BatchScheduler",
     "__version__",
 ]

@@ -40,6 +40,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run a final SAT solver on the processed CNF")
     parser.add_argument("--solver", choices=("minisat", "lingeling", "cms"),
                         default="cms", help="final solver personality")
+    final = parser.add_mutually_exclusive_group()
+    final.add_argument("--backend", metavar="SPEC", default=None,
+                       help="final solver as a portfolio backend spec: a "
+                            "personality ('cms'), a seed-diversified copy "
+                            "('cms@7'), or an external binary over strict "
+                            "DIMACS ('dimacs:kissat'); overrides --solver")
+    final.add_argument("--portfolio", action="store_true",
+                       help="race all personalities (plus a seed-"
+                            "diversified copy) on the final solve; first "
+                            "validated verdict wins, losers are cancelled")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="portfolio worker processes (1 = sequential)")
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="final-solver wall-clock budget in seconds")
     # Paper parameters.
@@ -102,6 +114,46 @@ def config_from_args(args: argparse.Namespace) -> Config:
     )
 
 
+def _model_validator(result):
+    """Portfolio SAT claims are only trusted after reconstruction through
+    the conversion auxiliaries and evaluation on the processed ANF."""
+    if result.conversion is None or not result.processed_anf:
+        return None
+    from .core.solution import make_model_validator
+
+    return make_model_validator(result.conversion, result.processed_anf)
+
+
+def _final_solve(args, result):
+    """Solve the processed CNF per --portfolio / --backend / --solver."""
+    if args.portfolio:
+        from .portfolio import PortfolioRunner, default_portfolio
+
+        runner = PortfolioRunner(
+            default_portfolio(seed=args.seed),
+            jobs=args.jobs,
+            validate=_model_validator(result),
+        )
+        outcome = runner.run(result.cnf, timeout_s=args.timeout)
+        if args.verb >= 2:
+            for row in outcome.stats:
+                print("c portfolio: {:<14} {:<13} {:6.2f}s conflicts={}{}".format(
+                    row.backend, row.status, row.seconds, row.conflicts,
+                    "  [winner]" if row.won else ""))
+        return outcome.verdict, outcome.model
+    if args.backend:
+        from .portfolio import create_backend
+
+        backend = create_backend(args.backend)
+        if not backend.available():
+            print("c backend unavailable: {}".format(backend.name))
+            return None, None
+        res = backend.solve(result.cnf, timeout_s=args.timeout)
+        return res.status, res.model
+    verdict, model, _ = run_final_solver(result.cnf, args.solver, args.timeout)
+    return verdict, model
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
@@ -148,9 +200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.solve:
         solution = result.solution
         if solution is None:
-            verdict, model, _ = run_final_solver(
-                result.cnf, args.solver, args.timeout
-            )
+            verdict, model = _final_solve(args, result)
             if verdict is False:
                 print("s UNSATISFIABLE")
                 return 20
@@ -161,6 +211,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             values = solution.values
         print("s SATISFIABLE")
+        if values is None:
+            # A SAT verdict without a printable model (e.g. an external
+            # backend that reports no ``v`` lines).
+            return 10
         n = result.system.ring.n_vars if result.system else len(values)
         lits = [
             "{}{}".format("" if values[v] else "-", v + 1)

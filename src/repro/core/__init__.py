@@ -29,7 +29,12 @@ from .linearize import Linearization, extract_facts, gauss_jordan
 from .probing import ProbeResult, run_probing
 from .propagation import PropagationStats, materialize, propagate, state_polynomials
 from .satlearn import SatLearnResult, run_sat
-from .solution import Solution, reconstruct_model, solution_from_model
+from .solution import (
+    Solution,
+    make_model_validator,
+    reconstruct_model,
+    solution_from_model,
+)
 from .xl import XlResult, run_xl
 
 __all__ = [
@@ -79,4 +84,5 @@ __all__ = [
     "Solution",
     "reconstruct_model",
     "solution_from_model",
+    "make_model_validator",
 ]

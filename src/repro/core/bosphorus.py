@@ -190,6 +190,8 @@ class Bosphorus:
                     )
                     it_stats["sat_status"] = sat_res.status
                     it_stats["sat_conflicts"] = sat_res.conflicts
+                    if sat_res.portfolio is not None:
+                        it_stats["sat_portfolio_winner"] = sat_res.portfolio.winner
                     if sat_res.conversion is not None:
                         cache_hits += sat_res.conversion.stats.karnaugh_cache_hits
                         cache_misses += (

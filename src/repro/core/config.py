@@ -20,6 +20,7 @@ pure-Python reproduction remains fast (documented in DESIGN.md §6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
 
 
 @dataclass
@@ -65,6 +66,18 @@ class Config:
     xl_max_cols: int = 6000
     # RNG seed for the subsampling steps (replicability).
     seed: int = 0
+    # Portfolio mode for the inner SAT step (repro.portfolio): instead of
+    # one in-process solver, race the named backends under the same
+    # conflict budget; the first *validated* verdict wins and learnt
+    # facts are merged from every facts-safe backend.  Backend specs are
+    # resolved by ``repro.portfolio.create_backend`` ("minisat", "cms@7",
+    # "dimacs:kissat", ...).  ``portfolio_jobs=1`` is the deterministic
+    # sequential race; ``portfolio_timeout_s`` optionally adds a
+    # wall-clock bound on top of the conflict budget.
+    use_portfolio: bool = False
+    portfolio_backends: Tuple[str, ...] = ("minisat", "cms", "cms@1")
+    portfolio_jobs: int = 1
+    portfolio_timeout_s: Optional[float] = None
 
     def with_(self, **kwargs) -> "Config":
         """A copy of this config with the given fields replaced."""

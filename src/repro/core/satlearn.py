@@ -39,6 +39,104 @@ class SatLearnResult:
     model: Optional[List[int]] = None  # over the ANF variables
     conflicts: int = 0
     conversion: Optional[ConversionResult] = None
+    portfolio: Optional[object] = None  # PortfolioResult when config.use_portfolio
+
+
+class _HarvestedFacts:
+    """Adapter giving merged portfolio learnt facts the solver's
+    fact-harvesting surface (:meth:`level0_literals`, ``learnt_binaries``),
+    so :func:`extract_facts` serves both paths unchanged."""
+
+    def __init__(self, level0, binaries):
+        self._level0 = list(level0)
+        self.learnt_binaries = set(binaries)
+
+    def level0_literals(self):
+        return self._level0
+
+
+def _run_sat_portfolio(
+    system: AnfSystem,
+    config: Config,
+    budget: int,
+    conversion: ConversionResult,
+    solver_config: Optional[SolverConfig] = None,
+) -> SatLearnResult:
+    """The inner SAT step as a backend race (``config.use_portfolio``).
+
+    A caller-supplied ``solver_config`` (Bosphorus's
+    ``inner_solver_config``) replaces the stock personality tuning of
+    every in-process backend; per-backend seeds still apply on top, so
+    the race stays diversified.
+
+    Each backend gets the same conflict budget; SAT models are only
+    accepted after reconstruction through the conversion's auxiliaries
+    and evaluation on the original ANF (invalid models demote that
+    backend's answer).  Learnt facts are merged from every facts-safe
+    backend — cancelled losers still contribute their proven level-0
+    units.
+    """
+    from ..portfolio import CdclBackend, PortfolioRunner, create_backend
+    from .solution import make_model_validator
+
+    backends = [create_backend(spec) for spec in config.portfolio_backends]
+    if solver_config is not None:
+        for backend in backends:
+            if isinstance(backend, CdclBackend):
+                backend.config_override = solver_config
+    if config.portfolio_timeout_s is None:
+        # The inner SAT step is conflict-bounded (paper budget C); a
+        # backend that cannot honour that budget would make the loop
+        # iteration unbounded, so demand an explicit wall-clock bound.
+        unbounded = [b.name for b in backends if not b.supports_conflict_budget]
+        if unbounded:
+            raise ValueError(
+                "portfolio_timeout_s must be set when portfolio_backends "
+                "include wall-clock-only backends: " + ", ".join(unbounded)
+            )
+
+    runner = PortfolioRunner(
+        backends,
+        jobs=config.portfolio_jobs,
+        validate=make_model_validator(conversion, system.polynomials),
+    )
+    outcome = runner.run(
+        conversion.formula,
+        timeout_s=config.portfolio_timeout_s,
+        conflict_budget=budget,
+    )
+    conflicts = max(
+        (r.conflicts for r in outcome.results if r is not None), default=0
+    )
+    result = SatLearnResult(
+        status=outcome.verdict,
+        conflicts=conflicts,
+        conversion=conversion,
+        portfolio=outcome,
+    )
+    if outcome.verdict is UNSAT:
+        result.facts = [Poly.one()]
+        return result
+
+    level0: List[int] = []
+    seen_lits: Set[int] = set()
+    binaries: Set[Tuple[int, int]] = set()
+    for backend_result in outcome.results:
+        if backend_result is None or not backend_result.facts_safe:
+            continue
+        for lit in backend_result.level0:
+            if lit not in seen_lits:
+                seen_lits.add(lit)
+                level0.append(lit)
+        binaries.update(backend_result.binaries)
+    result.facts = extract_facts(_HarvestedFacts(level0, binaries), conversion, config)
+
+    if outcome.verdict is SAT and outcome.model is not None:
+        result.model = [
+            1 if (v < len(outcome.model) and outcome.model[v]) else 0
+            for v in range(conversion.n_anf_vars)
+        ]
+    return result
 
 
 def run_sat(
@@ -61,6 +159,10 @@ def run_sat(
     config = config or Config()
     budget = conflict_budget if conflict_budget is not None else config.sat_conflict_start
     conversion = (converter or AnfToCnf(config)).convert(system)
+    if config.use_portfolio and config.portfolio_backends:
+        return _run_sat_portfolio(
+            system, config, budget, conversion, solver_config
+        )
     solver = Solver(solver_config)
     solver.ensure_vars(conversion.formula.n_vars)
     ok = True

@@ -74,6 +74,26 @@ def solution_from_model(
     return Solution([model[v] for v in range(conversion.n_anf_vars)])
 
 
+def make_model_validator(conversion, polynomials: Sequence[Poly]):
+    """A ``cnf_model_bits -> bool`` callback closing the loop on the ANF.
+
+    The portfolio engine's validation hook: a CNF model is accepted only
+    if it survives reconstruction through the conversion's monomial/cut
+    auxiliaries *and* satisfies ``polynomials``.  Reconstruction
+    failures (corrupt models) count as invalid, never as errors.
+    """
+    polynomials = list(polynomials)
+
+    def validate(cnf_model: Sequence[int]) -> bool:
+        try:
+            solution = solution_from_model(conversion, cnf_model)
+        except ValueError:
+            return False
+        return solution.satisfies(polynomials)
+
+    return validate
+
+
 @dataclass
 class Solution:
     """A concrete assignment to the problem's variables."""

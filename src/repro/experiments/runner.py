@@ -10,9 +10,14 @@ Reproduces the paper's Table II protocol:
   stands.
 
 Three solver personalities stand in for MiniSat / Lingeling /
-CryptoMiniSat5 (DESIGN.md §4, substitution 5).  Time budgets are enforced
-by running the CDCL search in conflict-sized slices and checking the wall
-clock between slices, so a slow instance cannot wedge the harness.
+CryptoMiniSat5 (DESIGN.md §4, substitution 5); they are the in-process
+:class:`repro.portfolio.CdclBackend` adapters, so the same code path
+serves this harness, the parallel portfolio engine and the CLI.  Time
+budgets are enforced by running the CDCL search in conflict-sized slices
+and checking the wall clock between slices, so a slow instance cannot
+wedge the harness.  ``run_family(jobs=N)`` distributes the Table II grid
+over a bounded worker pool (:class:`repro.portfolio.BatchScheduler`) with
+per-instance wall-clock isolation; the PAR-2 math is unchanged.
 """
 
 from __future__ import annotations
@@ -28,12 +33,10 @@ from ..core.anf_to_cnf import AnfToCnf
 from ..core.bosphorus import Bosphorus
 from ..core.config import Config
 from ..core.solution import Solution
+from ..portfolio.backends import CdclBackend, sliced_solve
+from ..portfolio.batch import BatchScheduler
 from ..sat.dimacs import CnfFormula
-from ..sat.preprocess import Preprocessor
-from ..sat.solver import Solver, SolverConfig
-from ..sat import cms_config, lingeling_config, minisat_config
-from ..sat.types import TRUE, UNDEF
-from ..sat.xorengine import XorEngine
+from ..sat.solver import Solver
 
 PERSONALITIES = ("minisat", "lingeling", "cms")
 
@@ -72,26 +75,16 @@ class RunResult:
     decided_by_bosphorus: bool = False
 
 
-def _solver_for(personality: str) -> SolverConfig:
-    if personality == "minisat":
-        return minisat_config()
-    if personality == "lingeling":
-        return lingeling_config()
-    if personality == "cms":
-        return cms_config()
-    raise ValueError("unknown personality: " + personality)
-
-
 def solve_with_budget(
     solver: Solver, deadline: float, slice_conflicts: int = 500
 ) -> Optional[bool]:
-    """Run CDCL in slices until verdict or the wall-clock deadline."""
-    while True:
-        verdict = solver.solve(conflict_budget=slice_conflicts)
-        if verdict is not None:
-            return verdict
-        if time.monotonic() >= deadline:
-            return None
+    """Run CDCL in slices until verdict or the wall-clock deadline.
+
+    A thin wrapper over :func:`repro.portfolio.backends.sliced_solve` —
+    there is exactly one slicing/deadline policy, and a deadline already
+    in the past never buys a free conflict slice.
+    """
+    return sliced_solve(solver, deadline=deadline, slice_conflicts=slice_conflicts)
 
 
 def run_final_solver(
@@ -103,49 +96,17 @@ def run_final_solver(
     """Solve a CNF with one of the three personalities.
 
     Returns ``(verdict, model, conflicts)``; the model covers the
-    formula's variables when SAT.
+    formula's variables when SAT.  This is a thin wrapper over the
+    portfolio backend adapter (:class:`repro.portfolio.CdclBackend`), so
+    the harness, the portfolio engine and the CLI share one solving path.
+    A ``deadline`` already in the past returns ``(None, None, 0)``
+    immediately.
     """
     deadline = deadline if deadline is not None else time.monotonic() + timeout_s
-    if personality == "cms" and not formula.xors:
-        # CryptoMiniSat recovers Tseitin-encoded XORs from plain CNF.
-        from ..sat.xorrecovery import formula_with_recovered_xors
-
-        formula = formula_with_recovered_xors(formula)
-    clauses = [list(c) for c in formula.clauses]
-    n_vars = formula.n_vars
-    preprocessor = None
-    if personality == "lingeling":
-        preprocessor = Preprocessor(n_vars, clauses)
-        pre = preprocessor.run()
-        if not pre.status:
-            return False, None, 0
-        clauses = pre.clauses
-
-    solver = Solver(_solver_for(personality))
-    solver.ensure_vars(n_vars)
-    for clause in clauses:
-        if not solver.add_clause(clause):
-            return False, None, solver.num_conflicts
-    if personality == "cms" and formula.xors:
-        engine = XorEngine()
-        for variables, rhs in formula.xors:
-            engine.add_xor(variables, rhs)
-        solver.attach_xor_engine(engine)
-        if not solver.ok:
-            return False, None, solver.num_conflicts
-
-    verdict = solve_with_budget(solver, deadline)
-    model = None
-    if verdict is True:
-        raw = [TRUE if v < len(solver.model) and solver.model[v] == TRUE else 0
-               for v in range(n_vars)]
-        if preprocessor is not None:
-            raw = preprocessor.extend_model(
-                [solver.model[v] if v < len(solver.model) else UNDEF
-                 for v in range(n_vars)]
-            )
-        model = [1 if x == TRUE else 0 for x in raw]
-    return verdict, model, solver.num_conflicts
+    if time.monotonic() >= deadline:
+        return None, None, 0
+    result = CdclBackend(personality).solve(formula, deadline=deadline)
+    return result.status, result.model, result.conflicts
 
 
 def _convert_anf(problem: Problem, config: Config, personality: str) -> CnfFormula:
@@ -235,31 +196,57 @@ def _check_model(problem: Problem, model: Optional[List[int]]) -> Optional[bool]
     return True
 
 
+def _run_family_cell(cell) -> RunResult:
+    """One Table II grid cell, shaped for :class:`BatchScheduler.map`.
+
+    The invalid-model check lives here, in the worker, so a model bug
+    fails the run at the offending cell instead of after the whole grid
+    has burned its wall-clock budget.
+    """
+    problem, personality, use_b, timeout_s, config = cell
+    res = run_instance(problem, personality, use_b, timeout_s, config)
+    if res.model_checked is False:
+        raise AssertionError(
+            "invalid model for {} ({}, bosphorus={})".format(
+                problem.name, personality, use_b
+            )
+        )
+    return res
+
+
 def run_family(
     problems: Sequence[Problem],
     personalities: Sequence[str] = PERSONALITIES,
     timeout_s: float = 10.0,
     bosphorus_config: Optional[Config] = None,
+    jobs: int = 1,
 ) -> Dict[Tuple[str, bool], List[Tuple[Optional[bool], float]]]:
     """All (personality, with/without) runs for one problem family.
 
     Returns ``{(personality, use_bosphorus): [(verdict, seconds), ...]}``,
     ready for :func:`repro.experiments.par2.par2_score`.
+
+    With ``jobs > 1`` the grid's cells run over a bounded worker pool
+    (one process per in-flight cell, each under its own wall-clock
+    deadline), so one slow instance no longer serialises the whole
+    table.  Cell order, verdicts and the PAR-2 math are identical to the
+    sequential path; only wall-clock time changes.
     """
-    out: Dict[Tuple[str, bool], List[Tuple[Optional[bool], float]]] = {}
-    for personality in personalities:
-        for use_b in (False, True):
-            runs = []
-            for problem in problems:
-                res = run_instance(
-                    problem, personality, use_b, timeout_s, bosphorus_config
-                )
-                if res.model_checked is False:
-                    raise AssertionError(
-                        "invalid model for {} ({}, bosphorus={})".format(
-                            problem.name, personality, use_b
-                        )
-                    )
-                runs.append((res.verdict, res.seconds))
-            out[(personality, use_b)] = runs
+    cells = [
+        (problem, personality, use_b, timeout_s, bosphorus_config)
+        for personality in personalities
+        for use_b in (False, True)
+        for problem in problems
+    ]
+    results = BatchScheduler(jobs).map(_run_family_cell, cells)
+
+    # Every grid key exists even for an empty problem list (the report
+    # layer renders all-zero score lines for empty families).
+    out: Dict[Tuple[str, bool], List[Tuple[Optional[bool], float]]] = {
+        (personality, use_b): []
+        for personality in personalities
+        for use_b in (False, True)
+    }
+    for cell, res in zip(cells, results):
+        out[(cell[1], cell[2])].append((res.verdict, res.seconds))
     return out

@@ -137,9 +137,11 @@ def run_block(
     timeout_s: float = 10.0,
     bosphorus_config: Optional[Config] = None,
     personalities: Sequence[str] = PERSONALITIES,
+    jobs: int = 1,
 ) -> TableBlock:
     """Run one family in all configurations and score it."""
-    raw = run_family(problems, personalities, timeout_s, bosphorus_config)
+    raw = run_family(problems, personalities, timeout_s, bosphorus_config,
+                     jobs=jobs)
     scores = {
         key: par2_score(runs, timeout_s) for key, runs in raw.items()
     }

@@ -1,0 +1,519 @@
+"""Pluggable solver backends behind one protocol (paper Table II setup).
+
+The paper races MiniSat, Lingeling and CryptoMiniSat5 over the same
+instances; this module gives the reproduction the matching abstraction: a
+:class:`SolverBackend` answers *one* CNF under a wall-clock deadline, a
+conflict budget and a cooperative cancellation signal, and every consumer
+(the final-solver harness, the portfolio engine, the CLI) talks to the
+protocol instead of a concrete solver.  Three conforming families ship:
+
+* :class:`CdclBackend` — the in-process CDCL personalities
+  (minisat / lingeling / cms configurations from :mod:`repro.sat`);
+* :class:`CdclBackend` with a ``seed`` — the *diversified* personality:
+  :attr:`repro.sat.solver.SolverConfig.seed` randomises initial
+  polarities and branch tie-breaking, deterministically per seed, so a
+  portfolio can run many decorrelated copies of one personality;
+* :class:`DimacsBackend` — any external SAT solver binary, fed strict
+  DIMACS through a temp file and parsed from its competition-format
+  output (``s SATISFIABLE`` / ``v`` lines), with kill-on-timeout.  It is
+  skipped gracefully (``available() == False``) when the binary is not
+  installed.
+
+Backends must be picklable: the portfolio engine ships them to worker
+processes.  The registry maps names (``"minisat"``, ``"cms@7"``,
+``"dimacs:kissat"``) to fresh backend instances via :func:`create_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sat import cms_config, lingeling_config, minisat_config
+from ..sat.dimacs import CnfFormula, expand_xors, write_dimacs
+from ..sat.preprocess import Preprocessor
+from ..sat.solver import SAT, UNSAT, Solver, SolverConfig
+from ..sat.types import TRUE, UNDEF
+from ..sat.xorengine import XorEngine
+
+#: Conflicts per slice of the interruptible solve loop: deadline and
+#: cancellation are re-checked this often.
+SLICE_CONFLICTS = 500
+
+
+@dataclass
+class BackendResult:
+    """One backend's answer for one formula.
+
+    ``status`` follows the solver convention: ``True`` SAT, ``False``
+    UNSAT, ``None`` no verdict.  ``model`` is 0/1 bits over the *input*
+    formula's variables (``None`` when unavailable — e.g. an external
+    solver that does not print ``v`` lines).  ``level0`` and
+    ``binaries`` carry the learnt facts Bosphorus harvests (encoded
+    literals / literal pairs); they are only populated when
+    ``facts_safe`` — a backend whose preprocessing is merely
+    equisatisfiable (BVE) must not contribute facts.
+    """
+
+    status: Optional[bool]
+    model: Optional[List[int]] = None
+    conflicts: int = 0
+    level0: List[int] = field(default_factory=list)
+    binaries: List[Tuple[int, int]] = field(default_factory=list)
+    facts_safe: bool = False
+    cancelled: bool = False
+    demoted: bool = False
+    error: Optional[str] = None
+
+
+def _deadline_of(timeout_s: Optional[float], deadline: Optional[float]) -> Optional[float]:
+    if deadline is not None:
+        return deadline
+    if timeout_s is not None:
+        return time.monotonic() + timeout_s
+    return None
+
+
+def _cancelled(cancel) -> bool:
+    return cancel is not None and cancel.is_set()
+
+
+def sliced_solve(
+    solver: Solver,
+    deadline: Optional[float] = None,
+    conflict_budget: Optional[int] = None,
+    cancel=None,
+    slice_conflicts: int = SLICE_CONFLICTS,
+) -> Optional[bool]:
+    """Run CDCL in conflict slices until a verdict, the deadline, budget
+    exhaustion, or cancellation — whichever comes first.
+
+    The one interruptible-solve policy shared by every consumer
+    (backends, the experiment harness): a deadline already in the past
+    never buys a conflict slice.
+    """
+    budget_left = conflict_budget
+    while True:
+        if deadline is not None and time.monotonic() >= deadline:
+            return None
+        if _cancelled(cancel):
+            return None
+        slice_budget = slice_conflicts
+        if budget_left is not None:
+            if budget_left <= 0:
+                return None
+            slice_budget = min(slice_budget, budget_left)
+        before = solver.num_conflicts
+        verdict = solver.solve(conflict_budget=slice_budget)
+        if budget_left is not None:
+            budget_left -= solver.num_conflicts - before
+        if verdict is not None:
+            return verdict
+
+
+class SolverBackend:
+    """Protocol for portfolio members.  Subclasses implement
+    :meth:`solve`; ``name`` identifies the backend in stats and the
+    registry; ``available()`` lets a backend opt out at runtime (missing
+    binary) without failing the portfolio."""
+
+    name: str = "backend"
+    #: Whether :meth:`solve` honours ``conflict_budget``.  External
+    #: binaries cannot (they are wall-clock-bounded only), so callers
+    #: racing them under a conflict budget must supply a deadline too.
+    supports_conflict_budget: bool = True
+
+    def available(self) -> bool:
+        return True
+
+    def solve(
+        self,
+        formula: CnfFormula,
+        timeout_s: Optional[float] = None,
+        deadline: Optional[float] = None,
+        conflict_budget: Optional[int] = None,
+        cancel=None,
+    ) -> BackendResult:
+        raise NotImplementedError
+
+
+@dataclass
+class CdclBackend(SolverBackend):
+    """An in-process CDCL personality, optionally seed-diversified.
+
+    This is the one code path for all three personalities — the
+    final-solver harness (:func:`repro.experiments.runner.run_final_solver`)
+    delegates here:
+
+    * ``lingeling`` runs the SatELite-style :class:`Preprocessor` first
+      (equisatisfiable, so learnt facts are withheld: ``facts_safe`` is
+      False);
+    * ``cms`` recovers Tseitin-encoded XORs from plain CNF and attaches
+      the native :class:`XorEngine`;
+    * other personalities get XOR constraints *expanded* to plain
+      clauses (:func:`repro.sat.dimacs.expand_xors`), so a formula with
+      ``x`` lines is solved correctly by every member of a portfolio.
+    """
+
+    personality: str = "minisat"
+    seed: Optional[int] = None
+    #: Replaces the personality's stock SolverConfig when set (the
+    #: Bosphorus ``inner_solver_config`` plumbing); ``seed`` still
+    #: applies on top, so diversified copies stay decorrelated.
+    config_override: Optional[SolverConfig] = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        if self.seed is None:
+            return self.personality
+        return "{}@{}".format(self.personality, self.seed)
+
+    def _config(self) -> SolverConfig:
+        factories = {
+            "minisat": minisat_config,
+            "lingeling": lingeling_config,
+            "cms": cms_config,
+        }
+        if self.personality not in factories:
+            raise ValueError("unknown personality: " + self.personality)
+        cfg = (
+            self.config_override
+            if self.config_override is not None
+            else factories[self.personality]()
+        )
+        if self.seed is not None:
+            cfg = replace(cfg, seed=self.seed)
+        return cfg
+
+    def solve(
+        self,
+        formula: CnfFormula,
+        timeout_s: Optional[float] = None,
+        deadline: Optional[float] = None,
+        conflict_budget: Optional[int] = None,
+        cancel=None,
+    ) -> BackendResult:
+        deadline = _deadline_of(timeout_s, deadline)
+        # Cancellation/deadline checked before the heavy setup too: a
+        # loser that starts after the race is decided must not burn CPU
+        # on clause loading or SatELite preprocessing.
+        if _cancelled(cancel) or (
+            deadline is not None and time.monotonic() >= deadline
+        ):
+            return BackendResult(None, cancelled=_cancelled(cancel))
+        n_report = formula.n_vars
+        facts_safe = True
+
+        if self.personality == "cms" and not formula.xors:
+            from ..sat.xorrecovery import formula_with_recovered_xors
+
+            formula = formula_with_recovered_xors(formula)
+        use_engine = self.personality == "cms" and bool(formula.xors)
+        if formula.xors and not use_engine:
+            formula = expand_xors(formula)
+
+        clauses = [list(c) for c in formula.clauses]
+        n_vars = formula.n_vars
+        preprocessor = None
+        if self.personality == "lingeling":
+            facts_safe = False  # BVE is equisatisfiable, not equivalent
+            preprocessor = Preprocessor(n_vars, clauses)
+            pre = preprocessor.run()
+            if not pre.status:
+                return BackendResult(UNSAT, conflicts=0, facts_safe=False)
+            clauses = pre.clauses
+
+        solver = Solver(self._config())
+        solver.ensure_vars(n_vars)
+        for clause in clauses:
+            if not solver.add_clause(clause):
+                return self._harvest(
+                    BackendResult(UNSAT, conflicts=solver.num_conflicts),
+                    solver,
+                    facts_safe,
+                )
+        if use_engine:
+            engine = XorEngine()
+            for variables, rhs in formula.xors:
+                engine.add_xor(variables, rhs)
+            solver.attach_xor_engine(engine)
+            if not solver.ok:
+                return self._harvest(
+                    BackendResult(UNSAT, conflicts=solver.num_conflicts),
+                    solver,
+                    facts_safe,
+                )
+
+        verdict = sliced_solve(
+            solver,
+            deadline=deadline,
+            conflict_budget=conflict_budget,
+            cancel=cancel,
+        )
+
+        result = BackendResult(
+            verdict,
+            conflicts=solver.num_conflicts,
+            cancelled=verdict is None and _cancelled(cancel),
+        )
+        if verdict is SAT:
+            raw = [
+                solver.model[v] if v < len(solver.model) else UNDEF
+                for v in range(n_vars)
+            ]
+            if preprocessor is not None:
+                raw = preprocessor.extend_model(raw)
+            result.model = [1 if x == TRUE else 0 for x in raw[:n_report]]
+        return self._harvest(result, solver, facts_safe)
+
+    def _harvest(
+        self, result: BackendResult, solver: Solver, facts_safe: bool
+    ) -> BackendResult:
+        if facts_safe:
+            result.facts_safe = True
+            result.level0 = solver.level0_literals()
+            result.binaries = solver.learnt_binary_clauses()
+        return result
+
+
+@dataclass
+class DimacsBackend(SolverBackend):
+    """Shell out to an external SAT solver binary over strict DIMACS.
+
+    ``command`` is the argv prefix; ``{cnf}`` placeholders are replaced
+    with the instance path (appended when absent).  XOR constraints are
+    always expanded — external solvers speak plain DIMACS.  The verdict
+    is parsed from SAT-competition output (``s SATISFIABLE`` /
+    ``s UNSATISFIABLE``, bare MiniSat-style ``SATISFIABLE`` lines, or
+    the 10/20 exit-code convention) and the model from ``v`` lines when
+    present.  The process is killed on deadline or cancellation.
+    """
+
+    command: Tuple[str, ...] = ()
+    label: Optional[str] = None
+
+    # External binaries are wall-clock-bounded only (no annotation: a
+    # class attribute, not a dataclass field).
+    supports_conflict_budget = False
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.label or "dimacs:{}".format(
+            os.path.basename(self.command[0]) if self.command else "?"
+        )
+
+    def available(self) -> bool:
+        return bool(self.command) and shutil.which(self.command[0]) is not None
+
+    def solve(
+        self,
+        formula: CnfFormula,
+        timeout_s: Optional[float] = None,
+        deadline: Optional[float] = None,
+        conflict_budget: Optional[int] = None,
+        cancel=None,
+    ) -> BackendResult:
+        if not self.available():
+            return BackendResult(None, error="binary not found: {}".format(
+                self.command[0] if self.command else "<empty command>"
+            ))
+        deadline = _deadline_of(timeout_s, deadline)
+        # Short-circuit before serialising the instance: a queued loser
+        # whose race is already over must not write a temp CNF and exec
+        # a binary only to kill it moments later.
+        if _cancelled(cancel) or (
+            deadline is not None and time.monotonic() >= deadline
+        ):
+            return BackendResult(None, cancelled=_cancelled(cancel))
+        n_report = formula.n_vars
+        plain = expand_xors(formula)
+
+        fd, path = tempfile.mkstemp(suffix=".cnf", text=True)
+        try:
+            with os.fdopen(fd, "w") as f:
+                write_dimacs(f, plain, comments=["repro portfolio instance"])
+            argv = [a.replace("{cnf}", path) for a in self.command]
+            if not any("{cnf}" in a for a in self.command):
+                argv.append(path)
+            if deadline is not None and time.monotonic() >= deadline:
+                return BackendResult(None)
+            try:
+                proc = subprocess.Popen(
+                    argv,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    text=True,
+                    # Own process group: a timeout kill must take the
+                    # solver's children too, or they keep the stdout
+                    # pipe open and the reap below blocks on them.
+                    start_new_session=True,
+                )
+            except OSError as exc:
+                return BackendResult(None, error=str(exc))
+            # Drain stdout on a thread: a solver printing more than a
+            # pipe buffer (big "v" model lines) would otherwise block
+            # writing while this loop only polls for exit — deadlock.
+            chunks: List[str] = []
+            reader = threading.Thread(
+                target=lambda: chunks.append(proc.stdout.read()), daemon=True
+            )
+            reader.start()
+            killed = False
+            while proc.poll() is None:
+                if _cancelled(cancel) or (
+                    deadline is not None and time.monotonic() >= deadline
+                ):
+                    try:
+                        os.killpg(proc.pid, signal.SIGKILL)
+                    except OSError:
+                        proc.kill()
+                    killed = True
+                    break
+                time.sleep(0.02)
+            proc.wait()
+            # Bounded join: a grandchild that escaped the killed process
+            # group could keep the pipe open; the daemon reader is then
+            # abandoned rather than hanging this backend.
+            reader.join(timeout=5.0)
+            if not reader.is_alive():
+                proc.stdout.close()
+            stdout = "".join(chunks)
+            if killed:
+                return BackendResult(None, cancelled=_cancelled(cancel))
+            return self._parse(stdout, proc.returncode, n_report)
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _parse(self, stdout: str, returncode: int, n_vars: int) -> BackendResult:
+        status: Optional[bool] = None
+        values: Dict[int, int] = {}
+        saw_model = False
+        for line in stdout.splitlines():
+            line = line.strip()
+            if line in ("s SATISFIABLE", "SATISFIABLE"):
+                status = SAT
+            elif line in ("s UNSATISFIABLE", "UNSATISFIABLE"):
+                status = UNSAT
+            elif line.startswith("v ") or line.startswith("V "):
+                saw_model = True
+                for tok in line.split()[1:]:
+                    try:
+                        n = int(tok)
+                    except ValueError:
+                        continue
+                    if n == 0:
+                        continue
+                    values[abs(n) - 1] = 1 if n > 0 else 0
+        if status is None:
+            if returncode == 10:
+                status = SAT
+            elif returncode == 20:
+                status = UNSAT
+        model = None
+        if status is SAT and saw_model:
+            model = [values.get(v, 0) for v in range(n_vars)]
+        return BackendResult(status, model=model)
+
+
+# -- registry -------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[[], SolverBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], SolverBackend], overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name`` (fresh instance per call)."""
+    if not overwrite and name in _REGISTRY:
+        raise ValueError("backend already registered: " + name)
+    _REGISTRY[name] = factory
+
+
+def registered_backends() -> List[str]:
+    """Registered backend names, in registration order."""
+    return list(_REGISTRY)
+
+
+def create_backend(spec: str) -> SolverBackend:
+    """Build a backend from a spec string.
+
+    Accepted forms:
+
+    * a registered name — ``"minisat"``, ``"lingeling"``, ``"cms"``;
+    * ``"<personality>@<seed>"`` — the diversified CDCL personality,
+      e.g. ``"cms@7"``;
+    * ``"dimacs:<program>[ args...]"`` — an external solver binary run
+      over strict DIMACS, e.g. ``"dimacs:kissat"`` or
+      ``"dimacs:cryptominisat5 --verb=0"``.
+    """
+    if spec in _REGISTRY:
+        return _REGISTRY[spec]()
+    if spec.startswith("dimacs:"):
+        command = tuple(spec[len("dimacs:"):].split())
+        if not command:
+            raise ValueError("empty dimacs backend command: " + spec)
+        return DimacsBackend(command=command)
+    if "@" in spec:
+        personality, _, seed_text = spec.partition("@")
+        if personality in ("minisat", "lingeling", "cms"):
+            try:
+                seed = int(seed_text)
+            except ValueError:
+                raise ValueError("bad seed in backend spec: " + spec)
+            return CdclBackend(personality=personality, seed=seed)
+    raise ValueError("unknown backend spec: " + spec)
+
+
+for _personality in ("minisat", "lingeling", "cms"):
+    register_backend(
+        _personality,
+        (lambda p: lambda: CdclBackend(personality=p))(_personality),
+    )
+
+
+#: External solver binaries probed by :func:`detect_external_backends`.
+EXTERNAL_SOLVER_CANDIDATES = (
+    "cryptominisat5",
+    "kissat",
+    "cadical",
+    "glucose",
+    "minisat",
+    "lingeling",
+)
+
+
+def detect_external_backends(
+    candidates: Sequence[str] = EXTERNAL_SOLVER_CANDIDATES,
+) -> List[DimacsBackend]:
+    """DIMACS backends for every candidate binary present on ``PATH``.
+
+    Returns an empty list when none are installed — portfolio and tests
+    degrade gracefully to the in-process personalities.
+    """
+    found = []
+    for prog in candidates:
+        backend = DimacsBackend(command=(prog,))
+        if backend.available():
+            found.append(backend)
+    return found
+
+
+def default_portfolio(seed: int = 0) -> List[SolverBackend]:
+    """The stock portfolio: all three personalities plus a diversified
+    CMS copy (decorrelated via ``SolverConfig.seed``)."""
+    return [
+        CdclBackend("minisat"),
+        CdclBackend("lingeling"),
+        CdclBackend("cms"),
+        CdclBackend("cms", seed=seed + 1),
+    ]

@@ -1,0 +1,333 @@
+"""Parallel portfolio solving with first-win cancellation.
+
+One instance fans out to N :class:`~repro.portfolio.backends.SolverBackend`
+workers over a ``ProcessPoolExecutor``; the first definitive verdict sets
+a shared cancellation event, the losers notice it at their next conflict
+slice and stand down, and every backend's fate is reported as a
+per-backend :class:`PortfolioStats` row.
+
+Soundness and determinism:
+
+* a SAT claim is only *accepted* after the caller-supplied validator
+  confirms the model (the Bosphorus wiring validates through
+  ``core.solution.reconstruct_model`` + evaluate-on-the-original-ANF); an
+  invalid or missing model **demotes** that backend's answer to no-verdict
+  and the race continues;
+* the reported verdict is chosen by :func:`arbitrate`, a pure function of
+  the collected results that prefers the lowest backend index among the
+  definitive answers — so the same inputs yield the same arbitrated
+  verdict regardless of worker finish order (the wall-clock race only
+  decides *when* losers are cancelled, never *what* is answered);
+* definitive verdicts must agree; a SAT/UNSAT split raises
+  :class:`PortfolioDisagreement` instead of silently picking one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..sat.solver import SAT, UNSAT
+from .backends import BackendResult, SolverBackend
+from .batch import mp_context
+
+#: Stats row status values.
+STATUS_SAT = "sat"
+STATUS_UNSAT = "unsat"
+STATUS_UNKNOWN = "unknown"
+STATUS_CANCELLED = "cancelled"
+STATUS_SKIPPED = "skipped"
+STATUS_ERROR = "error"
+STATUS_INVALID_MODEL = "invalid-model"
+
+
+class PortfolioDisagreement(RuntimeError):
+    """Two backends returned contradictory definitive verdicts."""
+
+
+@dataclass
+class PortfolioStats:
+    """What happened to one backend during a portfolio run."""
+
+    backend: str
+    status: str
+    seconds: float = 0.0
+    conflicts: int = 0
+    won: bool = False
+    cancelled: bool = False
+    demoted: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class PortfolioResult:
+    """The arbitrated outcome of one portfolio run."""
+
+    verdict: Optional[bool]
+    model: Optional[List[int]] = None
+    winner: Optional[str] = None
+    stats: List[PortfolioStats] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    results: List[Optional[BackendResult]] = field(default_factory=list)
+
+    @property
+    def n_cancelled(self) -> int:
+        return sum(1 for s in self.stats if s.cancelled)
+
+
+def arbitrate(
+    entries: Sequence[Tuple[int, Optional[BackendResult]]]
+) -> Optional[int]:
+    """Pick the winning entry: lowest backend index with a definitive verdict.
+
+    ``entries`` pairs each backend's index with its (possibly absent)
+    result; demoted results must already carry ``status=None``.  Returns
+    the winning backend index, or ``None`` when nothing was decided.
+    Raises :class:`PortfolioDisagreement` when definitive verdicts
+    conflict — arbitration never papers over an unsound backend.
+    """
+    verdicts = set()
+    best: Optional[int] = None
+    for index, result in entries:
+        if result is None or result.status is None:
+            continue
+        verdicts.add(bool(result.status))
+        if best is None or index < best:
+            best = index
+    if len(verdicts) > 1:
+        raise PortfolioDisagreement(
+            "backends disagree: both SAT and UNSAT were claimed"
+        )
+    return best
+
+
+# Worker-side state, installed by the pool initializer: the cancellation
+# event cannot cross the task queue (it rides process inheritance), and
+# the shared formula would otherwise be re-pickled once per backend.
+_WORKER_CANCEL = None
+_WORKER_FORMULA = None
+
+
+def _init_worker(cancel, formula) -> None:
+    global _WORKER_CANCEL, _WORKER_FORMULA
+    _WORKER_CANCEL = cancel
+    _WORKER_FORMULA = formula
+
+
+def _solve_entry(
+    index: int,
+    backend: SolverBackend,
+    deadline: Optional[float],
+    conflict_budget: Optional[int],
+) -> Tuple[int, BackendResult, float]:
+    start = time.monotonic()
+    try:
+        result = backend.solve(
+            _WORKER_FORMULA,
+            deadline=deadline,
+            conflict_budget=conflict_budget,
+            cancel=_WORKER_CANCEL,
+        )
+    except Exception as exc:  # a crashing backend loses, not the run
+        result = BackendResult(None, error="{}: {}".format(type(exc).__name__, exc))
+    return index, result, time.monotonic() - start
+
+
+class PortfolioRunner:
+    """Race a fixed set of backends on single instances.
+
+    ``jobs`` bounds the worker processes (``None`` — one per backend,
+    capped by CPU count; ``1`` — the deterministic sequential mode, where
+    backends run in order and everything after the first definitive
+    verdict is cancelled without running).  ``validate`` is an optional
+    ``model_bits -> bool`` callback; when present, SAT answers without a
+    validated model are demoted.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[SolverBackend],
+        jobs: Optional[int] = None,
+        validate: Optional[Callable[[List[int]], bool]] = None,
+    ):
+        if not backends:
+            raise ValueError("a portfolio needs at least one backend")
+        self.backends = list(backends)
+        self.jobs = jobs
+        self.validate = validate
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        formula,
+        timeout_s: Optional[float] = None,
+        conflict_budget: Optional[int] = None,
+    ) -> PortfolioResult:
+        start = time.monotonic()
+        # One deadline for the whole run: timeout_s bounds the race, not
+        # each backend (sequential mode would otherwise stack budgets N
+        # deep).  time.monotonic() is system-wide, so the absolute value
+        # stays meaningful inside worker processes.
+        deadline = start + timeout_s if timeout_s is not None else None
+        active: List[Tuple[int, SolverBackend]] = []
+        stats: List[Optional[PortfolioStats]] = [None] * len(self.backends)
+        for i, backend in enumerate(self.backends):
+            if backend.available():
+                active.append((i, backend))
+            else:
+                stats[i] = PortfolioStats(backend.name, STATUS_SKIPPED)
+
+        if self.jobs is not None:
+            jobs = self.jobs
+        else:
+            jobs = min(len(active), os.cpu_count() or 1)
+        jobs = max(1, min(jobs, len(active))) if active else 1
+        if not active:
+            return PortfolioResult(
+                None, stats=[s for s in stats if s], wall_seconds=0.0,
+                results=[None] * len(self.backends),
+            )
+
+        results: List[Optional[BackendResult]] = [None] * len(self.backends)
+        seconds = [0.0] * len(self.backends)
+        if jobs == 1:
+            self._run_sequential(
+                active, formula, deadline, conflict_budget, results, seconds, stats
+            )
+        else:
+            self._run_parallel(
+                active, formula, deadline, conflict_budget, results, seconds,
+                stats, jobs,
+            )
+
+        out_stats = []
+        for i, row in enumerate(stats):
+            if row is None:
+                row = self._stats_row(self.backends[i], results[i], seconds[i])
+                stats[i] = row
+            out_stats.append(row)
+        winner = arbitrate(list(enumerate(results)))
+        verdict = None
+        model = None
+        winner_name = None
+        if winner is not None:
+            win_result = results[winner]
+            verdict = bool(win_result.status)
+            model = win_result.model
+            winner_name = self.backends[winner].name
+            out_stats[winner].won = True
+        return PortfolioResult(
+            verdict,
+            model=model,
+            winner=winner_name,
+            stats=out_stats,
+            wall_seconds=time.monotonic() - start,
+            results=results,
+        )
+
+    # -- execution modes ---------------------------------------------------
+
+    def _run_sequential(
+        self, active, formula, deadline, conflict_budget, results, seconds, stats
+    ) -> None:
+        decided = False
+        for index, backend in active:
+            if decided:
+                stats[index] = PortfolioStats(
+                    backend.name, STATUS_CANCELLED, cancelled=True
+                )
+                continue
+            t0 = time.monotonic()
+            try:
+                result = backend.solve(
+                    formula, deadline=deadline, conflict_budget=conflict_budget
+                )
+            except Exception as exc:
+                result = BackendResult(
+                    None, error="{}: {}".format(type(exc).__name__, exc)
+                )
+            seconds[index] = time.monotonic() - t0
+            results[index] = self._validated(result)
+            if results[index].status is not None:
+                decided = True
+
+    def _run_parallel(
+        self, active, formula, deadline, conflict_budget, results, seconds,
+        stats, jobs,
+    ) -> None:
+        ctx = mp_context()
+        cancel = ctx.Event()
+        executor = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(cancel, formula),
+        )
+        try:
+            futures = {
+                executor.submit(
+                    _solve_entry, index, backend, deadline, conflict_budget,
+                ): index
+                for index, backend in active
+            }
+            for future in as_completed(futures):
+                try:
+                    index, result, elapsed = future.result()
+                except Exception as exc:  # worker died (not a solve error)
+                    index = futures[future]
+                    result = BackendResult(
+                        None, error="worker failed: {}".format(exc)
+                    )
+                    elapsed = 0.0
+                seconds[index] = elapsed
+                results[index] = self._validated(result)
+                if results[index].status is not None and not cancel.is_set():
+                    # First definitive, validated verdict: stop the rest.
+                    cancel.set()
+        finally:
+            cancel.set()
+            executor.shutdown(wait=True)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _validated(self, result: BackendResult) -> BackendResult:
+        if result.status is SAT and self.validate is not None:
+            if result.model is None or not self.validate(result.model):
+                # Demote: an unvalidated SAT claim never wins.
+                result.status = None
+                result.error = result.error or "model failed validation"
+                result.demoted = True
+        return result
+
+    def _stats_row(
+        self, backend: SolverBackend, result: Optional[BackendResult],
+        elapsed: float,
+    ) -> PortfolioStats:
+        if result is None:
+            return PortfolioStats(backend.name, STATUS_CANCELLED, cancelled=True)
+        demoted = result.demoted
+        if demoted:
+            status = STATUS_INVALID_MODEL
+        elif result.status is SAT:
+            status = STATUS_SAT
+        elif result.status is UNSAT:
+            status = STATUS_UNSAT
+        elif result.cancelled:
+            status = STATUS_CANCELLED
+        elif result.error:
+            status = STATUS_ERROR
+        else:
+            status = STATUS_UNKNOWN
+        return PortfolioStats(
+            backend.name,
+            status,
+            seconds=elapsed,
+            conflicts=result.conflicts,
+            cancelled=result.cancelled,
+            demoted=demoted,
+            error=result.error,
+        )

@@ -8,7 +8,14 @@ Three *personalities* reproduce the paper's three back-end solvers:
 """
 
 from .clause import Clause
-from .dimacs import CnfFormula, DimacsError, parse_dimacs, read_dimacs, write_dimacs
+from .dimacs import (
+    CnfFormula,
+    DimacsError,
+    expand_xors,
+    parse_dimacs,
+    read_dimacs,
+    write_dimacs,
+)
 from .drat import DratProof, check_rup
 from .preprocess import Preprocessor, PreprocessResult
 from .solver import SAT, UNKNOWN, UNSAT, Solver, SolverConfig, luby
@@ -60,6 +67,7 @@ __all__ = [
     "formula_with_recovered_xors",
     "CnfFormula",
     "DimacsError",
+    "expand_xors",
     "parse_dimacs",
     "read_dimacs",
     "write_dimacs",

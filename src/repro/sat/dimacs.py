@@ -120,6 +120,55 @@ def parse_dimacs(text: str, strict: bool = False) -> CnfFormula:
     return formula
 
 
+def expand_xors(formula: CnfFormula, cut_len: int = 4) -> CnfFormula:
+    """A plain-CNF formula equivalent to ``formula``.
+
+    XOR constraints are cut into chains of at most ``cut_len`` variables
+    (fresh accumulator variables join the chunks) and each chunk's parity
+    is enumerated as the ``2**(k-1)`` forbidding clauses.  Solvers and
+    external DIMACS binaries without native XOR support get exactly the
+    models of the original formula on the original variables; the
+    accumulators occupy indices ``>= formula.n_vars``.  A formula with no
+    XORs is returned unchanged.
+    """
+    if not formula.xors:
+        return formula
+    if cut_len < 3:
+        raise ValueError("cut_len must be at least 3")
+    out = CnfFormula(formula.n_vars)
+    out.clauses = [list(c) for c in formula.clauses]
+
+    def emit_parity(variables: List[int], rhs: int) -> None:
+        # Repeated variables cancel in GF(2); the enumeration below
+        # needs each variable to appear once.
+        counts: dict = {}
+        for v in variables:
+            counts[v] = counts.get(v, 0) ^ 1
+        vs = [v for v, odd in counts.items() if odd]
+        if not vs:
+            if rhs & 1:
+                out.add_clause([])
+            return
+        m = len(vs)
+        for pattern in range(1 << m):
+            if bin(pattern).count("1") & 1 == rhs:
+                continue
+            out.add_clause(
+                [(vs[i] << 1) | (pattern >> i & 1) for i in range(m)]
+            )
+
+    for variables, rhs in formula.xors:
+        vs = list(variables)
+        while len(vs) > cut_len:
+            head, vs = vs[: cut_len - 1], vs[cut_len - 1 :]
+            acc = out.n_vars
+            out.n_vars = acc + 1
+            emit_parity(head + [acc], 0)  # acc = parity(head)
+            vs.insert(0, acc)
+        emit_parity(vs, rhs)
+    return out
+
+
 def read_dimacs(f: TextIO, strict: bool = False) -> CnfFormula:
     """Read DIMACS from an open file."""
     return parse_dimacs(f.read(), strict=strict)

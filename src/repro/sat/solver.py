@@ -20,6 +20,7 @@ the solver native XOR reasoning (our CryptoMiniSat personality).
 from __future__ import annotations
 
 import heapq
+import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -34,7 +35,16 @@ UNKNOWN = None
 
 @dataclass
 class SolverConfig:
-    """Tunables defining a solver personality."""
+    """Tunables defining a solver personality.
+
+    ``seed`` switches on *diversification* for portfolio solving: initial
+    polarities are drawn at random and branch decisions occasionally pick
+    a random unassigned variable instead of the VSIDS maximum
+    (``random_branch_freq``, MiniSat's ``random_var_freq`` idea).  The
+    randomness is a private ``random.Random(seed)``, so a given seed is
+    bit-for-bit reproducible; ``seed=None`` (the default) consults no RNG
+    at all and preserves the undiversified search exactly.
+    """
 
     var_decay: float = 0.95
     clause_decay: float = 0.999
@@ -45,6 +55,8 @@ class SolverConfig:
     learnt_keep_base: int = 4000
     learnt_keep_step: int = 300
     minimize_learnts: bool = True
+    seed: Optional[int] = None
+    random_branch_freq: float = 0.02
 
 
 def luby(i: int) -> int:
@@ -70,6 +82,11 @@ class Solver:
 
     def __init__(self, config: Optional[SolverConfig] = None):
         self.config = config or SolverConfig()
+        self._rng = (
+            random.Random(self.config.seed)
+            if self.config.seed is not None
+            else None
+        )
         self.n_vars = 0
         self.clauses: List[Clause] = []
         self.learnts: List[Clause] = []
@@ -111,7 +128,10 @@ class Solver:
         self.level.append(0)
         self.reason.append(None)
         self.activity.append(0.0)
-        self.polarity.append(self.config.default_phase)
+        if self._rng is not None:
+            self.polarity.append(self._rng.random() < 0.5)
+        else:
+            self.polarity.append(self.config.default_phase)
         heapq.heappush(self._heap, (0.0, v))
         return v
 
@@ -426,6 +446,18 @@ class Solver:
     # -- decisions ----------------------------------------------------------------
 
     def _pick_branch_var(self) -> int:
+        if (
+            self._rng is not None
+            and self.n_vars
+            and self._rng.random() < self.config.random_branch_freq
+        ):
+            # Diversification: a random unassigned variable breaks the
+            # VSIDS tie deterministically per seed.  A few probes keep
+            # this O(1); on a miss we fall through to the heap.
+            for _ in range(3):
+                v = self._rng.randrange(self.n_vars)
+                if self.assign[v] == UNDEF:
+                    return v
         while self._heap:
             act, v = heapq.heappop(self._heap)
             if self.assign[v] == UNDEF and -act == self.activity[v]:

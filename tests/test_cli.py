@@ -104,6 +104,55 @@ def test_solver_personality_flag(anf_file, capsys):
         assert code == 10
 
 
+NO_LEARN = ["--no-sat", "--no-xl", "--no-elimlin"]
+
+
+def test_portfolio_flag_sequential(anf_file, capsys):
+    # Learning disabled so Bosphorus cannot decide the instance itself —
+    # the final solve must come from the portfolio race.
+    code = main(["--anfread", anf_file, "--solve", "--portfolio",
+                 "--jobs", "1", "--verb", "2"] + NO_LEARN)
+    out = capsys.readouterr().out
+    assert code == 10
+    assert "s SATISFIABLE" in out
+    assert "c portfolio:" in out
+    assert "[winner]" in out
+    model_line = [l for l in out.splitlines() if l.startswith("v ")][0]
+    lits = set(model_line.split()[1:-1])
+    assert {"2", "3", "4", "5", "-6"} <= lits
+
+
+def test_portfolio_flag_parallel(anf_file, capsys):
+    code = main(["--anfread", anf_file, "--solve", "--portfolio",
+                 "--jobs", "2"] + NO_LEARN)
+    out = capsys.readouterr().out
+    assert code == 10
+    assert "s SATISFIABLE" in out
+
+
+def test_backend_flag_accepts_specs(anf_file, capsys):
+    for spec in ("minisat", "cms@3"):
+        code = main(["--anfread", anf_file, "--solve", "--backend", spec]
+                    + NO_LEARN)
+        assert code == 10, spec
+        assert "s SATISFIABLE" in capsys.readouterr().out
+
+
+def test_backend_flag_unavailable_binary(anf_file, capsys):
+    code = main(["--anfread", anf_file, "--solve",
+                 "--backend", "dimacs:no-such-solver-binary"] + NO_LEARN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "backend unavailable" in out
+    assert "s UNKNOWN" in out
+
+
+def test_jobs_flag_default():
+    parser = build_parser()
+    args = parser.parse_args(["--anfread", "x.anf"])
+    assert args.jobs == 1 and not args.portfolio and args.backend is None
+
+
 def test_quiet_mode(anf_file, capsys):
     main(["--anfread", anf_file, "--verb", "0"])
     out = capsys.readouterr().out

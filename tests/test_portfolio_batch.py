@@ -1,0 +1,108 @@
+"""BatchScheduler and the parallel Table II path: many instances over a
+bounded pool, with verdicts and PAR-2 math identical to the sequential
+run (scored under the deterministic unit-time proxy, since wall-clock
+seconds are the one thing parallelism legitimately changes).
+"""
+
+import pytest
+
+from repro.core.config import Config
+from repro.experiments import par2_score, run_family, satcomp_problems
+from repro.portfolio import BatchScheduler, default_jobs
+
+FAST = Config(
+    xl_sample_bits=8,
+    elimlin_sample_bits=8,
+    sat_conflict_start=500,
+    sat_conflict_step=500,
+    sat_conflict_max=1000,
+    max_iterations=2,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_seven(x):
+    if x == 7:
+        raise ValueError("seven")
+    return x
+
+
+def test_map_preserves_item_order_sequential():
+    assert BatchScheduler(1).map(_square, range(10)) == [
+        x * x for x in range(10)
+    ]
+
+
+def test_map_preserves_item_order_parallel():
+    assert BatchScheduler(3).map(_square, range(20)) == [
+        x * x for x in range(20)
+    ]
+
+
+def test_map_propagates_worker_exceptions():
+    with pytest.raises(ValueError):
+        BatchScheduler(2).map(_raise_on_seven, range(10))
+
+
+def test_single_item_runs_inline():
+    assert BatchScheduler(8).map(_square, [5]) == [25]
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+
+
+def test_run_family_empty_problem_list_keeps_grid_keys():
+    # Regression: the cell-based rewrite must still emit every
+    # (personality, use_bosphorus) key for an empty family — the report
+    # layer renders all-zero score lines from them.
+    out = run_family([], ("minisat", "cms"), timeout_s=1.0, jobs=1)
+    assert set(out) == {(p, b) for p in ("minisat", "cms") for b in (False, True)}
+    assert all(runs == [] for runs in out.values())
+
+
+# -- parallel Table II ------------------------------------------------------
+
+
+def _verdict_grid(result):
+    return {key: [v for v, _ in runs] for key, runs in result.items()}
+
+
+def _unit_time_par2(result, timeout):
+    """PAR-2 under the deterministic unit-time proxy: solved costs 1.0,
+    unsolved the 2x penalty — identical iff the verdicts are identical."""
+    return {
+        key: par2_score(
+            [(v, 1.0) for v, _ in runs], timeout
+        ).format()
+        for key, runs in result.items()
+    }
+
+
+@pytest.mark.slow
+def test_parallel_run_family_matches_sequential():
+    problems = satcomp_problems(scale=0.35, per_family=1, seed=3)[:4]
+    timeout = 20.0
+    personalities = ("minisat", "cms")
+    sequential = run_family(
+        problems, personalities, timeout, FAST, jobs=1
+    )
+    parallel = run_family(
+        problems, personalities, timeout, FAST, jobs=2
+    )
+    assert set(sequential) == set(parallel) == {
+        (p, b) for p in personalities for b in (False, True)
+    }
+    assert _verdict_grid(sequential) == _verdict_grid(parallel)
+    assert _unit_time_par2(sequential, timeout) == _unit_time_par2(
+        parallel, timeout
+    )
+    # Every run is shaped (verdict, seconds) for par2_score either way.
+    for runs in parallel.values():
+        assert len(runs) == len(problems)
+        for verdict, seconds in runs:
+            assert verdict in (True, False, None)
+            assert seconds >= 0.0

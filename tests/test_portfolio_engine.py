@@ -1,0 +1,313 @@
+"""PortfolioRunner: first-win cancellation, deterministic arbitration,
+model validation/demotion, and the Bosphorus inner-SAT portfolio mode.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from repro.anf import AnfSystem, parse_system
+from repro.core import Bosphorus, Config
+from repro.core.anf_to_cnf import AnfToCnf
+from repro.core.satlearn import run_sat
+from repro.core.solution import solution_from_model
+from repro.portfolio import (
+    BackendResult,
+    CdclBackend,
+    PortfolioDisagreement,
+    PortfolioRunner,
+    SolverBackend,
+    arbitrate,
+)
+from repro.sat import CnfFormula, parse_dimacs
+from repro.satcomp.generators import pigeonhole
+
+
+def sat_micro():
+    return parse_dimacs("p cnf 3 3\n1 2 0\n-1 2 0\n-2 3 0\n")
+
+
+class StallBackend(SolverBackend):
+    """Never answers; exits promptly when cancelled.  Must live at module
+    level: the engine pickles backends into worker processes."""
+
+    name = "stall"
+
+    def solve(self, formula, timeout_s=None, deadline=None,
+              conflict_budget=None, cancel=None):
+        if deadline is None:
+            deadline = time.monotonic() + (timeout_s if timeout_s else 30.0)
+        while time.monotonic() < deadline:
+            if cancel is not None and cancel.is_set():
+                return BackendResult(None, cancelled=True)
+            time.sleep(0.01)
+        return BackendResult(None)
+
+
+class LyingBackend(SolverBackend):
+    """Claims SAT with a bogus model — the validator must demote it."""
+
+    name = "liar"
+
+    def solve(self, formula, timeout_s=None, deadline=None,
+              conflict_budget=None, cancel=None):
+        return BackendResult(True, model=[0] * formula.n_vars)
+
+
+# -- arbitration ------------------------------------------------------------
+
+
+def test_arbitrate_is_order_independent():
+    entries = [
+        (0, BackendResult(None)),
+        (1, BackendResult(True, model=[1])),
+        (2, BackendResult(True, model=[0])),
+        (3, None),
+    ]
+    winners = {
+        arbitrate(list(perm)) for perm in itertools.permutations(entries)
+    }
+    assert winners == {1}
+
+
+def test_arbitrate_nothing_decided():
+    assert arbitrate([(0, BackendResult(None)), (1, None)]) is None
+
+
+def test_arbitrate_raises_on_disagreement():
+    with pytest.raises(PortfolioDisagreement):
+        arbitrate([(0, BackendResult(True, model=[1])), (1, BackendResult(False))])
+
+
+# -- sequential mode --------------------------------------------------------
+
+
+def test_sequential_first_win_cancels_the_rest():
+    runner = PortfolioRunner(
+        [CdclBackend("minisat"), CdclBackend("cms"), StallBackend()], jobs=1
+    )
+    outcome = runner.run(sat_micro(), timeout_s=10)
+    assert outcome.verdict is True
+    assert outcome.winner == "minisat"
+    assert [s.status for s in outcome.stats] == ["sat", "cancelled", "cancelled"]
+    assert outcome.n_cancelled == 2
+    assert outcome.stats[0].won and not outcome.stats[1].won
+
+
+def test_sequential_determinism():
+    runner = PortfolioRunner(
+        [CdclBackend("minisat"), CdclBackend("cms", seed=2)], jobs=1
+    )
+    a = runner.run(sat_micro(), timeout_s=10)
+    b = runner.run(sat_micro(), timeout_s=10)
+    assert (a.verdict, a.winner, a.model) == (b.verdict, b.winner, b.model)
+
+
+def test_unavailable_backends_are_skipped():
+    from repro.portfolio import DimacsBackend
+
+    runner = PortfolioRunner(
+        [DimacsBackend(command=("no-such-binary",)), CdclBackend("minisat")],
+        jobs=1,
+    )
+    outcome = runner.run(sat_micro(), timeout_s=10)
+    assert outcome.verdict is True
+    assert outcome.stats[0].status == "skipped"
+    assert outcome.winner == "minisat"
+
+
+def test_invalid_model_demotes_backend():
+    def validate(bits):
+        formula = sat_micro()
+        return all(
+            any(bits[l >> 1] ^ (l & 1) == 1 for l in clause)
+            for clause in formula.clauses
+        )
+
+    runner = PortfolioRunner(
+        [LyingBackend(), CdclBackend("minisat")], jobs=1, validate=validate
+    )
+    outcome = runner.run(sat_micro(), timeout_s=10)
+    assert outcome.verdict is True
+    assert outcome.winner == "minisat"
+    assert outcome.stats[0].status == "invalid-model"
+    assert outcome.stats[0].demoted
+    assert validate(outcome.model)
+
+
+def test_all_unknown_yields_no_verdict():
+    runner = PortfolioRunner(
+        [CdclBackend("minisat"), CdclBackend("cms", seed=1)], jobs=1
+    )
+    outcome = runner.run(pigeonhole(9), conflict_budget=30, timeout_s=10)
+    assert outcome.verdict is None
+    assert outcome.winner is None
+    assert all(s.status == "unknown" for s in outcome.stats)
+
+
+def test_timeout_bounds_the_whole_race_not_each_backend():
+    # Regression: timeout_s used to hand every backend its own fresh
+    # budget, so a sequential race of N backends burned N x timeout.
+    runner = PortfolioRunner(
+        [CdclBackend("minisat"), CdclBackend("cms"), CdclBackend("minisat", seed=3)],
+        jobs=1,
+    )
+    start = time.monotonic()
+    outcome = runner.run(pigeonhole(9), timeout_s=0.6)
+    elapsed = time.monotonic() - start
+    assert outcome.verdict is None
+    assert elapsed < 1.4  # one shared 0.6 s budget, not 3 x 0.6 s
+
+
+def test_run_sat_portfolio_rejects_unbounded_external_backends():
+    from repro.anf import AnfSystem, parse_system
+
+    ring, polys = parse_system("x1*x2 + x3")
+    config = Config(
+        use_portfolio=True,
+        portfolio_backends=("minisat", "dimacs:no-such-binary"),
+        portfolio_timeout_s=None,
+    )
+    with pytest.raises(ValueError, match="portfolio_timeout_s"):
+        run_sat(AnfSystem(ring, polys), config, 100)
+    # With an explicit wall-clock bound the race runs; the missing
+    # binary is skipped and the in-process backend answers.
+    bounded = config.with_(portfolio_timeout_s=10.0)
+    result = run_sat(AnfSystem(ring.clone(), list(polys)), bounded, 100)
+    assert result.status is True
+    assert result.portfolio.winner == "minisat"
+
+
+# -- parallel mode ----------------------------------------------------------
+
+
+def test_parallel_first_win_cancels_stalled_worker():
+    runner = PortfolioRunner(
+        [CdclBackend("minisat"), StallBackend()], jobs=2
+    )
+    start = time.monotonic()
+    outcome = runner.run(sat_micro(), timeout_s=20)
+    elapsed = time.monotonic() - start
+    assert outcome.verdict is True
+    assert outcome.winner == "minisat"
+    stall_row = outcome.stats[1]
+    assert stall_row.status == "cancelled"
+    assert stall_row.cancelled
+    assert outcome.n_cancelled >= 1
+    assert elapsed < 15.0  # far below the stall backend's 20 s horizon
+
+
+def test_parallel_verdict_matches_sequential():
+    backends = [CdclBackend("minisat"), CdclBackend("cms", seed=1)]
+    seq = PortfolioRunner(backends, jobs=1).run(sat_micro(), timeout_s=10)
+    par = PortfolioRunner(backends, jobs=2).run(sat_micro(), timeout_s=10)
+    assert par.verdict == seq.verdict is True
+
+
+def test_parallel_unsat_race():
+    runner = PortfolioRunner(
+        [CdclBackend("minisat"), CdclBackend("cms"), CdclBackend("minisat", seed=3)],
+        jobs=2,
+    )
+    outcome = runner.run(pigeonhole(5), timeout_s=20)
+    assert outcome.verdict is False
+    assert outcome.winner is not None
+
+
+# -- Simon/Speck round-trip acceptance --------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cipher", ["simon", "speck"])
+def test_portfolio_validated_verdict_on_cipher_roundtrip(cipher):
+    """The acceptance claim: 2+ in-process backends race a real cipher
+    key-recovery instance, the winning SAT model survives reconstruction
+    through the conversion auxiliaries and evaluation on the original
+    ANF, and the losing/stalled worker is provably cancelled."""
+    from repro.ciphers import simon, speck
+
+    if cipher == "simon":
+        inst = simon.generate_instance(2, 4, seed=1)
+    else:
+        inst = speck.generate_instance(2, 3, seed=1)
+    system = AnfSystem(inst.ring.clone(), inst.polynomials)
+    conversion = AnfToCnf(Config()).convert(system)
+    polynomials = list(inst.polynomials)
+
+    def validate(bits):
+        try:
+            solution = solution_from_model(conversion, bits)
+        except ValueError:
+            return False
+        return solution.satisfies(polynomials)
+
+    runner = PortfolioRunner(
+        [CdclBackend("minisat"), CdclBackend("cms", seed=5), StallBackend()],
+        jobs=2,
+        validate=validate,
+    )
+    outcome = runner.run(conversion.formula, timeout_s=60)
+    assert outcome.verdict is True
+    assert outcome.winner in ("minisat", "cms@5")
+    assert validate(outcome.model)
+    assert any(s.cancelled for s in outcome.stats)
+
+
+# -- the Bosphorus inner-SAT portfolio mode ---------------------------------
+
+PAPER_SYSTEM = """\
+x1*x2 + x3 + x4 + 1
+x1*x2*x3 + x1 + x3 + 1
+x1*x3 + x3*x4*x5 + x3
+x2*x3 + x3*x5 + 1
+x2*x3 + x5 + 1
+"""
+
+
+def test_run_sat_portfolio_mode():
+    ring, polys = parse_system(PAPER_SYSTEM)
+    system = AnfSystem(ring, polys)
+    config = Config(
+        use_portfolio=True,
+        portfolio_backends=("minisat", "cms@1"),
+        portfolio_jobs=1,
+    )
+    result = run_sat(system, config, 2000)
+    assert result.status is True
+    assert result.portfolio is not None
+    assert result.portfolio.winner == "minisat"
+    from repro.core.solution import Solution
+
+    assert Solution(result.model).satisfies(list(system.polynomials))
+
+
+def test_run_sat_portfolio_matches_single_solver_verdict():
+    ring, polys = parse_system(PAPER_SYSTEM)
+    single = run_sat(AnfSystem(ring.clone(), list(polys)), Config(), 2000)
+    config = Config(
+        use_portfolio=True,
+        portfolio_backends=("minisat", "cms", "cms@2"),
+        portfolio_jobs=1,
+    )
+    racy = run_sat(AnfSystem(ring.clone(), list(polys)), config, 2000)
+    assert racy.status is single.status is True
+
+
+def test_bosphorus_end_to_end_with_portfolio():
+    ring, polys = parse_system(PAPER_SYSTEM)
+    config = Config(
+        use_portfolio=True,
+        portfolio_backends=("minisat", "cms@1"),
+        portfolio_jobs=1,
+    )
+    result = Bosphorus(config).preprocess_anf(ring, polys)
+    assert result.status == "sat"
+    # The paper example's unique solution: x1..x4 = 1, x5 = 0.
+    assert result.solution.values[1:6] == [1, 1, 1, 1, 0]
+    winners = [
+        it.get("sat_portfolio_winner")
+        for it in result.stats["techniques"]
+        if "sat_portfolio_winner" in it
+    ]
+    assert winners  # the portfolio actually ran inside the loop

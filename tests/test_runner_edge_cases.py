@@ -79,6 +79,40 @@ def test_cms_gets_recovered_xors_on_cnf():
     assert conflicts == 0
 
 
+def test_past_deadline_returns_unsolved_immediately():
+    # Regression: a deadline already in the past used to buy one free
+    # conflict slice before the wall clock was consulted.
+    import time
+
+    from repro.satcomp.generators import pigeonhole
+
+    formula = pigeonhole(9)
+    start = time.monotonic()
+    verdict, model, conflicts = run_final_solver(
+        formula, "minisat", timeout_s=10.0, deadline=time.monotonic()
+    )
+    assert verdict is None
+    assert model is None
+    assert conflicts == 0
+    assert time.monotonic() - start < 0.5
+
+
+def test_solve_with_budget_past_deadline_runs_no_slice():
+    import time
+
+    from repro.experiments import solve_with_budget
+    from repro.sat import Solver
+    from repro.satcomp.generators import pigeonhole
+
+    solver = Solver()
+    formula = pigeonhole(9)
+    solver.ensure_vars(formula.n_vars)
+    for clause in formula.clauses:
+        solver.add_clause(clause)
+    assert solve_with_budget(solver, deadline=time.monotonic()) is None
+    assert solver.num_conflicts == 0
+
+
 def test_problem_constructors():
     ring, polys = parse_system("x1 + 1")
     p = Problem.from_anf("a", ring, polys)
