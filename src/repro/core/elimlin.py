@@ -25,7 +25,9 @@ and ``y`` / ``y ⊕ 1``) go through the
 :meth:`~repro.anf.polynomial.Poly.substitute_masks` kernel, and learnt
 facts are deduplicated through a hash set instead of list scans.  The
 GJE step itself rides the packed bulk encode/decode of
-:mod:`repro.core.linearize`.
+:mod:`repro.core.linearize`, whose elimination goes through the one
+Four-Russians kernel (:func:`repro.gf2.elimination.eliminate`) shared
+by every GF(2) consumer in the repo.
 """
 
 from __future__ import annotations

@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from ..anf import monomial as mono
 from ..anf.monomial import Monomial
 from ..anf.polynomial import Poly
+from ..gf2.elimination import eliminate
 from ..gf2.matrix import GF2Matrix
 
 
@@ -141,7 +142,7 @@ def gauss_jordan(polynomials: Sequence[Poly]) -> List[Poly]:
         return []
     lin = Linearization(polys)
     matrix = lin.to_matrix(polys)
-    matrix.rref()
+    eliminate(matrix)
     return lin.rows_to_polys(matrix)
 
 

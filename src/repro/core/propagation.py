@@ -40,6 +40,7 @@ from typing import Deque, Iterable, List, Optional, Set, Union
 from ..anf import monomial as mono
 from ..anf.polynomial import Poly
 from ..anf.system import AnfSystem, ContradictionError
+from ..gf2.elimination import eliminate
 from ..gf2.matrix import GF2Matrix
 from dataclasses import dataclass
 
@@ -285,7 +286,7 @@ def _reduce_linear_groups(
             ],
             const_col + 1,
         )
-        matrix.rref()
+        eliminate(matrix)
         n_fresh_before = len(fresh)
         # Harvest only the *fact-shaped* rows (units and equivalences in
         # at most two variables).  Replacing the whole group by its RREF

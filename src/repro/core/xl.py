@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Set
 from ..anf import monomial as mono
 from ..anf.polynomial import Poly
 from .config import Config
+from ..gf2.elimination import eliminate
 from .linearize import Linearization, extract_facts
 
 
@@ -196,7 +197,7 @@ def run_xl(
     lin = Linearization(expanded)
     result.columns = lin.n_cols
     matrix = lin.to_matrix(expanded)
-    matrix.rref()
+    eliminate(matrix)
     reduced = lin.rows_to_polys(matrix)
     linear, monomial_rows = extract_facts(reduced)
     result.facts = linear + monomial_rows

@@ -1,5 +1,12 @@
-"""Bit-packed GF(2) linear algebra (our M4RI replacement)."""
+"""Bit-packed GF(2) linear algebra (Method-of-Four-Russians kernel).
 
+:func:`eliminate` is the one elimination kernel API — every consumer
+(linearize/elimlin/xl/propagation/xorengine and the derived matrix
+paths ``rank``/``solve_affine``/``kernel_basis``/``rref_rows``) reduces
+through it; ``GF2Matrix.rref_gj`` stays the differential oracle.
+"""
+
+from .elimination import choose_block_size, eliminate
 from .matrix import GF2Matrix, rref_rows
 
-__all__ = ["GF2Matrix", "rref_rows"]
+__all__ = ["GF2Matrix", "rref_rows", "eliminate", "choose_block_size"]

@@ -1,9 +1,14 @@
 """Dense GF(2) linear algebra on bit-packed matrices.
 
-This is our stand-in for M4RI: rows are packed 64 columns per ``uint64``
-word in a numpy array, and Gauss–Jordan elimination works a column at a
-time with vectorised row XORs.  That keeps the inner loop in numpy, which
-is what makes XL and ElimLin usable from pure Python.
+Rows are packed 64 columns per ``uint64`` word in a numpy array, and
+elimination is Method-of-Four-Russians (M4RI): columns are processed in
+blocks of ``k``, each block builds the ``2**k`` table of pivot-row
+combinations once, and every other row is cleared with a single
+table-lookup XOR — see :mod:`repro.gf2.elimination`, the one kernel
+every GF(2) consumer calls.  The seed column-at-a-time Gauss–Jordan
+survives verbatim as :meth:`GF2Matrix.rref_gj`, the differential
+oracle.  That keeps the inner loop in numpy, which is what makes XL and
+ElimLin usable from pure Python.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ import sys
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .elimination import eliminate, m4ri_rref
 
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
@@ -26,7 +33,11 @@ class GF2Matrix:
         self.n_rows = n_rows
         self.n_cols = n_cols
         self._words = (n_cols + 63) // 64
-        self._data = np.zeros((n_rows, max(self._words, 1)), dtype=np.uint64)
+        # ``_data`` is a view of the first ``n_rows`` rows of the backing
+        # buffer ``_buf``; ``append_row`` grows the buffer geometrically
+        # so appends are amortised O(row) instead of O(matrix).
+        self._buf = np.zeros((n_rows, max(self._words, 1)), dtype=np.uint64)
+        self._data = self._buf
 
     # -- construction --------------------------------------------------------
 
@@ -100,9 +111,10 @@ class GF2Matrix:
             pad = m._data.shape[1] * 8 - packed.shape[1]
             if pad:
                 packed = np.pad(packed, ((0, 0), (0, pad)))
-            m._data = (
+            m._buf = (
                 np.ascontiguousarray(packed).view(np.uint64).reshape(arr.shape[0], -1)
             )
+            m._data = m._buf
         else:  # pragma: no cover - big-endian fallback, element at a time
             for i in range(arr.shape[0]):
                 for j in np.nonzero(arr[i])[0]:
@@ -142,9 +154,10 @@ class GF2Matrix:
         return m
 
     def copy(self) -> "GF2Matrix":
-        """Deep copy."""
+        """Deep copy (spare append capacity is not carried over)."""
         m = GF2Matrix(self.n_rows, self.n_cols)
-        m._data = self._data.copy()
+        m._buf = self._data.copy()
+        m._data = m._buf
         return m
 
     # -- element access ------------------------------------------------------
@@ -251,14 +264,28 @@ class GF2Matrix:
             self._data[[a, b]] = self._data[[b, a]]
 
     def append_row(self, cols: Iterable[int]) -> int:
-        """Append a row with 1s in ``cols``; returns the new row index."""
-        new = np.zeros((1, self._data.shape[1]), dtype=np.uint64)
+        """Append a row with 1s in ``cols``; returns the new row index.
+
+        Amortised O(row): the backing buffer doubles when full (the seed
+        re-allocated the whole matrix per append, making N appends
+        quadratic), and ``_data`` stays a view of its first ``n_rows``
+        rows.
+        """
+        if self.n_rows == self._buf.shape[0]:
+            grown = np.zeros(
+                (max(2 * self._buf.shape[0], 4), self._buf.shape[1]),
+                dtype=np.uint64,
+            )
+            grown[: self.n_rows] = self._data
+            self._buf = grown
+        row = self._buf[self.n_rows]
+        row[:] = 0
         for j in cols:
             if not 0 <= j < self.n_cols:
                 raise IndexError(j)
-            new[0, j >> 6] ^= np.uint64(1) << np.uint64(j & 63)
-        self._data = np.vstack([self._data, new])
+            row[j >> 6] ^= np.uint64(1) << np.uint64(j & 63)
         self.n_rows += 1
+        self._data = self._buf[: self.n_rows]
         return self.n_rows - 1
 
     # -- elimination ---------------------------------------------------------
@@ -267,12 +294,26 @@ class GF2Matrix:
         word, mask = j >> 6, np.uint64(1) << np.uint64(j & 63)
         return word, mask
 
-    def rref(self, max_cols: Optional[int] = None) -> List[int]:
-        """In-place reduced row echelon form (full Gauss–Jordan).
+    def rref(
+        self, max_cols: Optional[int] = None, block: Optional[int] = None
+    ) -> List[int]:
+        """In-place reduced row echelon form (Method of Four Russians).
 
-        Columns are processed left to right (up to ``max_cols`` if given).
+        Columns are processed left to right (up to ``max_cols`` if given)
+        in blocks of ``block`` (chosen from the matrix size when None).
         Returns the list of pivot column indices, in order; ``len`` of the
-        result is the rank of the processed block.
+        result is the rank of the processed block.  Bit-for-bit identical
+        to :meth:`rref_gj`, the seed Gauss–Jordan kept as the oracle.
+        """
+        return m4ri_rref(self, max_cols=max_cols, block=block)
+
+    def rref_gj(self, max_cols: Optional[int] = None) -> List[int]:
+        """The seed column-at-a-time Gauss–Jordan RREF (in place).
+
+        One vectorised row-XOR sweep per pivot column.  Kept verbatim as
+        the differential oracle for the Four-Russians kernel (see
+        :mod:`repro.gf2.elimination`); not called by any production
+        path.
         """
         ncols = self.n_cols if max_cols is None else min(max_cols, self.n_cols)
         pivots: List[int] = []
@@ -300,11 +341,12 @@ class GF2Matrix:
 
     def rank(self) -> int:
         """Rank of the matrix (works on a copy; self is unchanged)."""
-        return len(self.copy().rref())
+        return len(eliminate(self.copy()))
 
     def nonzero_rows(self) -> List[int]:
-        """Indices of rows that are not entirely zero."""
-        return [i for i in range(self.n_rows) if self._data[i].any()]
+        """Indices of rows that are not entirely zero (one vectorised
+        ``any`` pass, no per-row Python loop)."""
+        return [int(i) for i in np.nonzero(self._data.any(axis=1))[0]]
 
     # -- solving -------------------------------------------------------------
 
@@ -322,12 +364,17 @@ class GF2Matrix:
         for i, b in enumerate(rhs):
             if b & 1:
                 aug.set(i, self.n_cols, 1)
-        pivots = aug.rref(max_cols=self.n_cols)
-        # Inconsistent iff some row reads 0 = 1.
-        for i in range(aug.n_rows):
-            cols = aug.row_cols(i)
-            if cols == [self.n_cols]:
-                return None
+        pivots = eliminate(aug, max_cols=self.n_cols)
+        # Inconsistent iff some row reads 0 = 1: total row weight 1 with
+        # the single bit in the augmented column — one vectorised
+        # popcount pass instead of a per-row ``row_cols`` scan.
+        weights = aug.row_weights()
+        b_col = self.n_cols
+        aug_bits = (
+            aug._data[:, b_col >> 6] >> np.uint64(b_col & 63)
+        ) & np.uint64(1)
+        if bool(((weights == 1) & (aug_bits == 1)).any()):
+            return None
         x = [0] * self.n_cols
         for r, j in enumerate(pivots):
             if aug.get(r, self.n_cols):
@@ -365,7 +412,7 @@ class GF2Matrix:
         Returned as dense 0/1 vectors of length ``n_cols``.
         """
         reduced = self.copy()
-        pivots = reduced.rref()
+        pivots = eliminate(reduced)
         pivot_set = set(pivots)
         free_cols = [j for j in range(self.n_cols) if j not in pivot_set]
         pivot_row = {col: row for row, col in enumerate(pivots)}
@@ -402,6 +449,6 @@ def rref_rows(
     the non-zero rows of the reduced matrix as sorted column-index lists.
     """
     m = GF2Matrix.from_rows(rows, n_cols)
-    pivots = m.rref()
+    pivots = eliminate(m)
     reduced = [m.row_cols(i) for i in range(m.n_rows)]
     return [r for r in reduced if r], pivots

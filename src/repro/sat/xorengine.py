@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..gf2.elimination import eliminate
 from ..gf2.matrix import GF2Matrix
 from .clause import Clause
 from .types import TRUE, UNDEF, mk_lit
@@ -86,7 +87,7 @@ class XorEngine:
                 m.set(i, col_of[v], 1)
             if x.rhs:
                 m.set(i, len(var_list), 1)
-        m.rref(max_cols=len(var_list))
+        eliminate(m, max_cols=len(var_list))
         new_xors: List[XorClause] = []
         for i in range(m.n_rows):
             cols = m.row_cols(i)

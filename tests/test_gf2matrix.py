@@ -71,6 +71,20 @@ def test_append_row():
     assert m.row_cols(1) == [1, 3]
 
 
+def test_append_row_many_amortised():
+    """10k appends ride the capacity-doubling buffer: content stays
+    intact and the backing buffer is reallocated only O(log n) times."""
+    m = GF2Matrix(0, 70)
+    buffer_ids = {id(m._buf)}
+    for i in range(10_000):
+        m.append_row([i % 70, 69])
+        buffer_ids.add(id(m._buf))
+    assert m.n_rows == 10_000
+    assert len(buffer_ids) <= 16  # geometric growth, not per-append
+    assert m.row_cols(9_999) == sorted({9_999 % 70, 69})
+    assert m.row_cols(0) == [0, 69]
+
+
 def test_rref_known_example():
     # The matrix from the paper's Table I (8 columns).
     rows = [
@@ -158,6 +172,24 @@ def test_solve_affine_verifies(rows, x):
     assert y is not None
     check = (a @ np.array(y, dtype=np.uint8)) % 2
     assert check.tolist() == b.tolist()
+
+
+@settings(max_examples=80)
+@given(st.sampled_from([1, 6, 31, 63, 64, 65, 128]), st.data())
+def test_rref_matches_gj_oracle(width, data):
+    """`rref` (Four-Russians) must be bit-for-bit the seed Gauss–Jordan:
+    same pivot list, same row order, same row content — across widths,
+    block overrides and column caps."""
+    rows = data.draw(
+        st.lists(st.integers(0, (1 << width) - 1), max_size=12)
+    )
+    max_cols = data.draw(st.sampled_from([None, width // 2, width]))
+    block = data.draw(st.sampled_from([None, 1, 3, 8, 11, 16]))
+    m = GF2Matrix.from_masks(rows, width)
+    oracle = GF2Matrix.from_masks(rows, width)
+    pivots = m.rref(max_cols=max_cols, block=block)
+    assert pivots == oracle.rref_gj(max_cols=max_cols)
+    assert (m._data == oracle._data).all()
 
 
 def test_from_cells_matches_from_rows():

@@ -4,7 +4,7 @@ The packed rewrite of the linearisation layer (bulk encode via
 ``GF2Matrix.from_cells``, batch decode via ``rows_cols``) must not change
 what ``gauss_jordan`` computes: the reduced polynomials span exactly the
 same GF(2) row space as the input linearisation.  Exercised at widths
-63/64/65/128 — both sides of every limb boundary of the width-adaptive
+63/64/65/128/257 — both sides of every limb boundary of the width-adaptive
 monomial masks — with a zero tuple-fallback assertion.
 """
 
@@ -17,7 +17,7 @@ from repro.anf.polynomial import Poly
 from repro.anf.stats import mask_fallback_hits, reset_mask_fallback_hits
 from repro.core.linearize import Linearization, gauss_jordan
 
-WIDTHS = [63, 64, 65, 128]
+WIDTHS = [63, 64, 65, 128, 257]
 
 
 def _systems(width):
