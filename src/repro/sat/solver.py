@@ -110,6 +110,10 @@ class Solver:
         self.num_propagations = 0
         self.num_restarts = 0
         self.num_reductions = 0
+        # Assumption-failure signal: set by solve() when UNSAT was only
+        # proven *under the given assumptions* (a cube), not globally.
+        self.assumptions_failed = False
+        self.failed_assumption: Optional[int] = None
         # Learnt-fact bookkeeping for Bosphorus.
         self.learnt_binaries: Set[Tuple[int, int]] = set()
         self.xor_engine = None  # set via attach_xor_engine
@@ -481,7 +485,19 @@ class Solver:
         "undecidable within the limit" case).  The solver always returns
         backtracked to level 0, so level-0 trail literals are valid learnt
         facts afterwards.
+
+        An UNSAT answer under non-empty ``assumptions`` is ambiguous: the
+        formula may be globally UNSAT, or merely UNSAT *under this cube*.
+        The two are distinguished by :attr:`assumptions_failed`: it is
+        True iff the refutation hinged on a falsified assumption literal
+        (stored in :attr:`failed_assumption`), in which case the global
+        formula may still be satisfiable and :attr:`ok` stays True.  When
+        it is False, the UNSAT verdict is unconditional.  Assumptions are
+        enqueued as *decisions* (level >= 1), never at level 0, so
+        :meth:`level0_literals` only ever reports cube-independent facts.
         """
+        self.assumptions_failed = False
+        self.failed_assumption = None
         if not self.ok:
             return False
         if self.propagate() is not None:
@@ -539,6 +555,12 @@ class Solver:
                 if val == TRUE:
                     continue
                 if val == FALSE:
+                    # UNSAT relative to the cube only: ¬a is implied by
+                    # the formula plus the *earlier* assumptions.  The
+                    # global formula may still be SAT, so self.ok is left
+                    # untouched and the failure is signalled instead.
+                    self.assumptions_failed = True
+                    self.failed_assumption = a
                     self.cancel_until(0)
                     return UNSAT
                 next_lit = a

@@ -218,6 +218,107 @@ def test_assumptions_sat_and_conflicting():
     assert solver2.solve(assumptions=[mk_lit(0, True)]) is UNSAT
 
 
+# -- the assumption-UNSAT / global-UNSAT distinction ------------------------
+
+
+def test_assumption_unsat_is_not_global_unsat():
+    # x0 is forced; assuming ¬x0 is UNSAT *under the cube* only.  The
+    # pre-fix solver returned a bare UNSAT here, indistinguishable from a
+    # global refutation — cube-and-conquer aggregation needs the two told
+    # apart.
+    solver, _ = make_solver([[mk_lit(0)]])
+    assert solver.solve(assumptions=[mk_lit(0, True)]) is UNSAT
+    assert solver.assumptions_failed
+    assert solver.failed_assumption == mk_lit(0, True)
+    assert solver.ok  # the formula itself was never refuted
+    # The same solver still answers the unconditional question.
+    assert solver.solve() is SAT
+    assert not solver.assumptions_failed
+    assert solver.failed_assumption is None
+
+
+def test_global_unsat_does_not_raise_assumption_flag():
+    # x0 ∧ ¬x0 is globally UNSAT; the flag must stay down even when
+    # assumptions are supplied.
+    solver, ok = make_solver([[mk_lit(0)], [mk_lit(0, True)]])
+    assert (not ok) or solver.solve(assumptions=[mk_lit(1)]) is UNSAT
+    assert not solver.assumptions_failed
+    assert solver.failed_assumption is None
+
+
+def test_contradictory_assumption_list_flags_failure():
+    solver, _ = make_solver([[mk_lit(0), mk_lit(1)]], n_vars=2)
+    verdict = solver.solve(assumptions=[mk_lit(0), mk_lit(0, True)])
+    assert verdict is UNSAT
+    assert solver.assumptions_failed
+    assert solver.failed_assumption == mk_lit(0, True)
+    assert solver.solve() is SAT
+
+
+def test_empty_assumption_list_is_plain_solve():
+    solver, _ = make_solver([[mk_lit(0)]])
+    assert solver.solve(assumptions=[]) is SAT
+    assert not solver.assumptions_failed
+
+
+def test_assumption_unsat_derived_by_search():
+    # The falsified assumption is only discovered after propagation of
+    # earlier assumptions: x0 → x1 (via ¬x0 ∨ x1), assume [x0, ¬x1].
+    clauses = [[mk_lit(0, True), mk_lit(1)]]
+    solver, _ = make_solver(clauses, n_vars=2)
+    verdict = solver.solve(assumptions=[mk_lit(0), mk_lit(1, True)])
+    assert verdict is UNSAT
+    assert solver.assumptions_failed
+    assert solver.solve() is SAT
+
+
+def test_cube_run_never_leaks_conditional_units_to_level0():
+    # After an UNSAT-under-cube run on a globally SAT formula, the
+    # level-0 trail must contain only cube-independent facts: every
+    # reported unit must hold in every model of the formula.
+    clauses = [
+        [mk_lit(0)],                      # x0 forced (a genuine fact)
+        [mk_lit(1, True), mk_lit(2)],     # x1 → x2
+        [mk_lit(2, True), mk_lit(3)],     # x2 → x3
+    ]
+    solver, _ = make_solver(clauses, n_vars=4)
+    assert solver.solve(assumptions=[mk_lit(1), mk_lit(3, True)]) is UNSAT
+    assert solver.assumptions_failed
+    level0 = set(solver.level0_literals())
+    # x1/x2/x3 were only ever assigned under the cube.
+    for lit in level0:
+        assert (lit >> 1) == 0, "cube-conditional unit leaked: {}".format(lit)
+    assert mk_lit(0) in level0
+    # Cross-check against brute force: each level-0 unit holds in every
+    # model of the bare formula.
+    for bits in itertools.product([0, 1], repeat=4):
+        if all(any(bits[l >> 1] ^ (l & 1) for l in c) for c in clauses):
+            for lit in level0:
+                assert bits[lit >> 1] ^ (lit & 1) == 1
+
+
+def test_units_learnt_under_cube_stay_globally_valid():
+    # Level-0 units recorded *during* a cube run come from learnt unit
+    # clauses, which are implied by the formula alone — check them
+    # against the brute-force model set of the original CNF.
+    rng = random.Random(11)
+    n = 8
+    clauses = random_3sat(n, 30, rng)
+    solver, ok = make_solver(clauses, n)
+    if not ok:
+        return
+    solver.solve(assumptions=[mk_lit(0), mk_lit(1, True)], conflict_budget=200)
+    level0 = solver.level0_literals()
+    models = [
+        bits
+        for bits in itertools.product([0, 1], repeat=n)
+        if all(any(bits[l >> 1] ^ (l & 1) for l in c) for c in clauses)
+    ]
+    for lit in level0:
+        for bits in models:
+            assert bits[lit >> 1] ^ (lit & 1) == 1
+
+
 def test_statistics_populated():
     rng = random.Random(7)
     clauses = random_3sat(20, 85, rng)
