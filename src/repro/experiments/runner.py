@@ -34,7 +34,7 @@ from ..core.bosphorus import Bosphorus
 from ..core.config import Config
 from ..core.solution import Solution
 from ..portfolio.backends import CdclBackend, sliced_solve
-from ..portfolio.batch import BatchScheduler
+from ..portfolio.batch import BatchItemError, BatchScheduler
 from ..sat.dimacs import CnfFormula
 from ..sat.solver import Solver
 
@@ -248,5 +248,13 @@ def run_family(
         for use_b in (False, True)
     }
     for cell, res in zip(cells, results):
+        if isinstance(res, BatchItemError):
+            # An invalid model is a soundness bug, never score noise —
+            # keep it loud.  Any other crash degrades that one cell to
+            # unsolved-at-timeout (the PAR-2 worst case) instead of
+            # killing the whole grid.
+            if res.kind == "AssertionError":
+                raise AssertionError(res.error)
+            res = RunResult(None, cell[3])
         out[(cell[1], cell[2])].append((res.verdict, res.seconds))
     return out

@@ -27,7 +27,7 @@ from .backends import (
     register_backend,
     registered_backends,
 )
-from .batch import BatchScheduler, default_jobs
+from .batch import BatchItemError, BatchScheduler, batch_cancel, default_jobs
 from .engine import (
     PortfolioDisagreement,
     PortfolioResult,
@@ -47,7 +47,9 @@ __all__ = [
     "detect_external_backends",
     "register_backend",
     "registered_backends",
+    "BatchItemError",
     "BatchScheduler",
+    "batch_cancel",
     "default_jobs",
     "PortfolioDisagreement",
     "PortfolioResult",

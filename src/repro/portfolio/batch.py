@@ -12,6 +12,20 @@ queue: workers receive only item indices.  This keeps interned ANF state
 (monomial masks, rings) shared copy-on-write instead of re-pickled per
 item, and lets callers batch over objects that are expensive or awkward
 to serialise.  Only each item's *result* crosses a pickle boundary.
+
+Failure isolation: an item whose function raises does not abort the
+batch.  The exception is captured into a :class:`BatchItemError` result
+in that item's slot, and every sibling item still runs and reports — one
+pathological instance (or cube) can no longer kill a whole
+``run_family``/cube run.
+
+Early exit: ``map(..., cancel=evt, stop_when=pred)`` gives consumers a
+first-win protocol.  ``cancel`` is a multiprocessing event shipped to the
+workers through the pool initializer (item functions read it via
+:func:`batch_cancel` and stand down cooperatively); ``stop_when`` is
+evaluated in the parent on each completed result and sets ``cancel`` on
+the first hit.  Remaining items still produce result slots — typically
+near-instant "cancelled" results from functions that honour the event.
 """
 
 from __future__ import annotations
@@ -19,6 +33,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -31,19 +46,50 @@ def mp_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
+
+@dataclass
+class BatchItemError:
+    """A captured per-item failure, returned in the item's result slot.
+
+    ``kind`` is the exception class name (``"ValueError"``,
+    ``"worker-died"`` when the worker process itself was lost), ``error``
+    the formatted message.  Consumers decide policy: degrade the item,
+    re-raise, or report.
+    """
+
+    index: int
+    kind: str
+    error: str
+
+
 # Worker-side state installed by the pool initializer.
 _BATCH_FN = None
 _BATCH_ITEMS: Sequence = ()
+_BATCH_CANCEL = None
 
 
-def _init_batch(fn, items) -> None:
-    global _BATCH_FN, _BATCH_ITEMS
+def _init_batch(fn, items, cancel) -> None:
+    global _BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL
     _BATCH_FN = fn
     _BATCH_ITEMS = items
+    _BATCH_CANCEL = cancel
+
+
+def batch_cancel():
+    """The batch's shared cancellation event, as seen from an item
+    function (worker process or the in-process sequential path); ``None``
+    when the current batch runs without one."""
+    return _BATCH_CANCEL
 
 
 def _run_batch_item(index: int):
-    return _BATCH_FN(_BATCH_ITEMS[index])
+    # Exceptions are captured here, in the worker, so a raising item
+    # neither poisons the future (losing its siblings' results) nor
+    # breaks the pool.
+    try:
+        return _BATCH_FN(_BATCH_ITEMS[index])
+    except Exception as exc:
+        return BatchItemError(index, type(exc).__name__, str(exc))
 
 
 def default_jobs() -> int:
@@ -61,22 +107,73 @@ class BatchScheduler:
     def __init__(self, jobs: Optional[int] = None):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        cancel=None,
+        stop_when: Optional[Callable[[R], bool]] = None,
+    ) -> List[R]:
+        """``[fn(item) for item in items]`` over the pool, in item order.
+
+        A raising item yields a :class:`BatchItemError` in its slot
+        instead of aborting the batch.  With ``cancel`` (a multiprocessing
+        event) and ``stop_when``, the first completed result for which
+        ``stop_when(result)`` is true sets ``cancel``; item functions can
+        observe it via :func:`batch_cancel` and finish early (the
+        sequential path honours the same protocol, so ``jobs=1`` stays
+        bit-for-bit representative).
+        """
         items = list(items)
         if self.jobs == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return self._map_sequential(fn, items, cancel, stop_when)
         ctx = mp_context()
         results: List = [None] * len(items)
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(items)),
             mp_context=ctx,
             initializer=_init_batch,
-            initargs=(fn, items),
+            initargs=(fn, items, cancel),
         ) as executor:
             futures = {
                 executor.submit(_run_batch_item, i): i
                 for i in range(len(items))
             }
             for future in as_completed(futures):
-                results[futures[future]] = future.result()
+                index = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:  # the worker process died
+                    result = BatchItemError(
+                        index, "worker-died", "worker failed: {}".format(exc)
+                    )
+                results[index] = result
+                self._maybe_stop(result, cancel, stop_when)
         return results
+
+    def _map_sequential(self, fn, items, cancel, stop_when) -> List:
+        # Install the worker-side globals in-process too, so item
+        # functions reach the cancel event through batch_cancel() on
+        # both paths.
+        saved = (_BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL)
+        _init_batch(fn, items, cancel)
+        try:
+            results: List = []
+            for i in range(len(items)):
+                result = _run_batch_item(i)
+                results.append(result)
+                self._maybe_stop(result, cancel, stop_when)
+            return results
+        finally:
+            _init_batch(*saved)
+
+    @staticmethod
+    def _maybe_stop(result, cancel, stop_when) -> None:
+        if (
+            stop_when is not None
+            and cancel is not None
+            and not isinstance(result, BatchItemError)
+            and not cancel.is_set()
+            and stop_when(result)
+        ):
+            cancel.set()

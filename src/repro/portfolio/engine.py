@@ -268,6 +268,7 @@ class PortfolioRunner:
             initargs=(cancel, formula),
         )
         try:
+            spawn_t0 = time.monotonic()
             futures = {
                 executor.submit(
                     _solve_entry, index, backend, deadline, conflict_budget,
@@ -282,7 +283,11 @@ class PortfolioRunner:
                     result = BackendResult(
                         None, error="worker failed: {}".format(exc)
                     )
-                    elapsed = 0.0
+                    # The worker cannot report its own timing any more;
+                    # attribute the wall time since fan-out so the stats
+                    # row reflects how long the backend really held a
+                    # slot (it used to claim 0.0s).
+                    elapsed = time.monotonic() - spawn_t0
                 seconds[index] = elapsed
                 results[index] = self._validated(result)
                 if results[index].status is not None and not cancel.is_set():

@@ -8,7 +8,14 @@ import pytest
 
 from repro.core.config import Config
 from repro.experiments import par2_score, run_family, satcomp_problems
-from repro.portfolio import BatchScheduler, default_jobs
+from repro.experiments.runner import Problem
+from repro.portfolio import (
+    BatchItemError,
+    BatchScheduler,
+    batch_cancel,
+    default_jobs,
+)
+from repro.portfolio.batch import mp_context
 
 FAST = Config(
     xl_sample_bits=8,
@@ -42,9 +49,77 @@ def test_map_preserves_item_order_parallel():
     ]
 
 
-def test_map_propagates_worker_exceptions():
-    with pytest.raises(ValueError):
-        BatchScheduler(2).map(_raise_on_seven, range(10))
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_map_captures_worker_exceptions(jobs):
+    # Regression: a poison item used to propagate out of future.result()
+    # and abort the whole batch, losing every sibling's result.  Now it
+    # is captured into a BatchItemError in its own slot.
+    results = BatchScheduler(jobs).map(_raise_on_seven, range(10))
+    assert len(results) == 10
+    err = results[7]
+    assert isinstance(err, BatchItemError)
+    assert err.index == 7
+    assert err.kind == "ValueError"
+    assert "seven" in err.error
+    for x in range(10):
+        if x != 7:
+            assert results[x] == x
+
+
+def _first_sat_probe(x):
+    evt = batch_cancel()
+    if evt is not None and evt.is_set():
+        return ("cancelled", x)
+    return ("sat" if x == 3 else "unknown", x)
+
+
+def test_map_stop_when_cancels_remaining_sequential():
+    # The first-win protocol on the deterministic jobs=1 path: once
+    # stop_when hits, later items observe the cancel event and stand
+    # down instead of doing real work.
+    cancel = mp_context().Event()
+    results = BatchScheduler(1).map(
+        _first_sat_probe,
+        range(8),
+        cancel=cancel,
+        stop_when=lambda r: r[0] == "sat",
+    )
+    assert cancel.is_set()
+    assert [r[0] for r in results[:4]] == ["unknown"] * 3 + ["sat"]
+    assert all(r[0] == "cancelled" for r in results[4:])
+
+
+def test_map_stop_when_parallel_still_returns_every_slot():
+    cancel = mp_context().Event()
+    results = BatchScheduler(2).map(
+        _first_sat_probe,
+        range(8),
+        cancel=cancel,
+        stop_when=lambda r: r[0] == "sat",
+    )
+    assert cancel.is_set()
+    assert len(results) == 8
+    assert ("sat", 3) in results
+    assert all(r[0] in ("sat", "unknown", "cancelled") for r in results)
+
+
+def test_run_family_poison_problem_degrades_to_unsolved():
+    # One pathological instance must not kill the grid: the broken
+    # problem (no ring) scores as unsolved-at-timeout, the healthy one
+    # still gets its verdict.
+    good = satcomp_problems(scale=0.3, per_family=1, seed=5)[:1]
+    poison = Problem("poison", "anf", ring=None, polynomials=None)
+    out = run_family(
+        good + [poison], ("minisat",), timeout_s=10.0, bosphorus_config=FAST,
+        jobs=2,
+    )
+    for runs in out.values():
+        assert len(runs) == 2
+        good_verdict, _ = runs[0]
+        poison_verdict, poison_seconds = runs[1]
+        assert good_verdict in (True, False)
+        assert poison_verdict is None
+        assert poison_seconds == 10.0
 
 
 def test_single_item_runs_inline():

@@ -55,6 +55,20 @@ class LyingBackend(SolverBackend):
         return BackendResult(True, model=[0] * formula.n_vars)
 
 
+class DyingBackend(SolverBackend):
+    """Kills its own worker process — the pool sees a dead worker, not a
+    solve error."""
+
+    name = "dying"
+
+    def solve(self, formula, timeout_s=None, deadline=None,
+              conflict_budget=None, cancel=None):
+        import os
+
+        time.sleep(0.3)
+        os._exit(17)
+
+
 # -- arbitration ------------------------------------------------------------
 
 
@@ -196,6 +210,23 @@ def test_parallel_first_win_cancels_stalled_worker():
     assert stall_row.cancelled
     assert outcome.n_cancelled >= 1
     assert elapsed < 15.0  # far below the stall backend's 20 s horizon
+
+
+def test_parallel_dead_worker_reports_error_and_real_elapsed():
+    # Regression: a backend whose worker process died was recorded with
+    # elapsed = 0.0, misreporting its wall time in PortfolioStats.  The
+    # row must carry the error and the real time the backend held its
+    # slot (>= the 0.3 s the worker lived).
+    runner = PortfolioRunner(
+        [CdclBackend("minisat"), DyingBackend()], jobs=2
+    )
+    outcome = runner.run(sat_micro(), timeout_s=20)
+    assert outcome.verdict is True
+    assert outcome.winner == "minisat"
+    dying_row = outcome.stats[1]
+    assert dying_row.status == "error"
+    assert dying_row.error and "worker" in dying_row.error
+    assert dying_row.seconds >= 0.25
 
 
 def test_parallel_verdict_matches_sequential():
