@@ -50,8 +50,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="race all personalities (plus a seed-"
                             "diversified copy) on the final solve; first "
                             "validated verdict wins, losers are cancelled")
+    parser.add_argument("--cube", action="store_true",
+                        help="cube-and-conquer the final solve: split the "
+                             "processed CNF into assumption cubes and fan "
+                             "them over the worker pool (first validated "
+                             "SAT wins; UNSAT only when every cube is "
+                             "refuted).  Composes with --portfolio (cubes "
+                             "round-robin over all personalities) and with "
+                             "--backend (one backend for every cube, "
+                             "including external dimacs: binaries)")
+    parser.add_argument("--cube-depth", type=int, default=4,
+                        help="cube split depth (up to 2**depth cubes)")
     parser.add_argument("--jobs", type=int, default=1,
-                        help="portfolio worker processes (1 = sequential)")
+                        help="portfolio/cube worker processes (1 = sequential)")
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="final-solver wall-clock budget in seconds")
     # Paper parameters.
@@ -125,7 +136,39 @@ def _model_validator(result):
 
 
 def _final_solve(args, result):
-    """Solve the processed CNF per --portfolio / --backend / --solver."""
+    """Solve the processed CNF per --cube / --portfolio / --backend / --solver."""
+    if args.cube:
+        from .cube import CubeConqueror
+
+        if args.portfolio:
+            from .portfolio import default_portfolio
+
+            backends = default_portfolio(seed=args.seed)
+        else:
+            from .portfolio import create_backend
+
+            backend = create_backend(args.backend or args.solver)
+            if not backend.available():
+                print("c backend unavailable: {}".format(backend.name))
+                return None, None
+            backends = [backend]
+        conqueror = CubeConqueror(
+            backends, jobs=args.jobs, depth=args.cube_depth,
+            validate=_model_validator(result),
+        )
+        outcome = conqueror.run(result.cnf, timeout_s=args.timeout)
+        if args.verb >= 2:
+            print("c cube: {} cubes ({} closed at split) over {}".format(
+                outcome.n_cubes, outcome.n_refuted_at_split,
+                "+".join(b.name for b in backends)))
+            for row in outcome.stats:
+                print("c cube: #{:<4} {:<14} {:<13} {:6.2f}s conflicts={}{}".format(
+                    row.index, row.backend, row.status, row.seconds,
+                    row.conflicts,
+                    "  [winner]" if row.status == "sat" else ""))
+            if outcome.global_unsat:
+                print("c cube: refutation was global (whole-formula shortcut)")
+        return outcome.verdict, outcome.model
     if args.portfolio:
         from .portfolio import PortfolioRunner, default_portfolio
 

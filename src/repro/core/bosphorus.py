@@ -192,6 +192,9 @@ class Bosphorus:
                     it_stats["sat_conflicts"] = sat_res.conflicts
                     if sat_res.portfolio is not None:
                         it_stats["sat_portfolio_winner"] = sat_res.portfolio.winner
+                    if sat_res.cube is not None:
+                        it_stats["sat_cubes"] = sat_res.cube.n_cubes
+                        it_stats["sat_cubes_refuted"] = sat_res.cube.n_refuted
                     if sat_res.conversion is not None:
                         cache_hits += sat_res.conversion.stats.karnaugh_cache_hits
                         cache_misses += (

@@ -78,6 +78,21 @@ class Config:
     portfolio_backends: Tuple[str, ...] = ("minisat", "cms", "cms@1")
     portfolio_jobs: int = 1
     portfolio_timeout_s: Optional[float] = None
+    # Cube-and-conquer mode for the inner SAT step (repro.cube): split
+    # the CNF into up to ``min(2**cube_depth, cube_max_cubes)``
+    # assumption cubes (``cube_mode``: "lookahead" walks the tree with
+    # unit propagation, "occurrence" is the syntactic ranking) and
+    # conquer them over ``cube_jobs`` workers with first-SAT early exit;
+    # UNSAT only when every cube is refuted.  Backend specs resolve via
+    # ``repro.portfolio.create_backend`` and are assigned round-robin
+    # over the cubes.  Takes precedence over ``use_portfolio``.
+    use_cube: bool = False
+    cube_depth: int = 4
+    cube_backends: Tuple[str, ...] = ("minisat",)
+    cube_jobs: int = 1
+    cube_mode: str = "lookahead"
+    cube_max_cubes: int = 256
+    cube_timeout_s: Optional[float] = None
 
     def with_(self, **kwargs) -> "Config":
         """A copy of this config with the given fields replaced."""

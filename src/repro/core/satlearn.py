@@ -40,6 +40,7 @@ class SatLearnResult:
     conflicts: int = 0
     conversion: Optional[ConversionResult] = None
     portfolio: Optional[object] = None  # PortfolioResult when config.use_portfolio
+    cube: Optional[object] = None  # CubeOutcome when config.use_cube
 
 
 class _HarvestedFacts:
@@ -139,6 +140,80 @@ def _run_sat_portfolio(
     return result
 
 
+def _run_sat_cube(
+    system: AnfSystem,
+    config: Config,
+    budget: int,
+    conversion: ConversionResult,
+    solver_config: Optional[SolverConfig] = None,
+) -> SatLearnResult:
+    """The inner SAT step as a cube-and-conquer run (``config.use_cube``).
+
+    The CNF is split into assumption cubes and conquered over the
+    bounded pool; every cube gets the same conflict budget.  SAT models
+    validate through the conversion before they are accepted, UNSAT is
+    reported only on a global refutation shortcut or when every cube is
+    refuted, and learnt facts merge from every facts-safe cube result —
+    plus the splitter's root-propagation units.  Cube-local units can
+    never appear: assumptions enter the solver as decisions, so
+    ``level0_literals()`` stays globally valid (the conflation this
+    layer's bugfix guards with a regression test).
+    """
+    from ..cube import CubeConqueror
+    from ..portfolio import CdclBackend, create_backend
+    from .solution import make_model_validator
+
+    backends = [create_backend(spec) for spec in config.cube_backends]
+    if solver_config is not None:
+        for backend in backends:
+            if isinstance(backend, CdclBackend):
+                backend.config_override = solver_config
+    if config.cube_timeout_s is None:
+        # Same bounding policy as the portfolio: a backend that ignores
+        # the conflict budget needs an explicit wall-clock bound or one
+        # hard cube wedges the loop iteration.
+        unbounded = [b.name for b in backends if not b.supports_conflict_budget]
+        if unbounded:
+            raise ValueError(
+                "cube_timeout_s must be set when cube_backends include "
+                "wall-clock-only backends: " + ", ".join(unbounded)
+            )
+
+    conqueror = CubeConqueror(
+        backends,
+        jobs=config.cube_jobs,
+        depth=config.cube_depth,
+        mode=config.cube_mode,
+        max_cubes=config.cube_max_cubes,
+        validate=make_model_validator(conversion, system.polynomials),
+    )
+    outcome = conqueror.run(
+        conversion.formula,
+        timeout_s=config.cube_timeout_s,
+        conflict_budget=budget,
+    )
+    conflicts = sum(r.conflicts for r in outcome.results if r is not None)
+    result = SatLearnResult(
+        status=outcome.verdict,
+        conflicts=conflicts,
+        conversion=conversion,
+        cube=outcome,
+    )
+    if outcome.verdict is UNSAT:
+        result.facts = [Poly.one()]
+        return result
+
+    result.facts = extract_facts(
+        _HarvestedFacts(outcome.level0, outcome.binaries), conversion, config
+    )
+    if outcome.verdict is SAT and outcome.model is not None:
+        result.model = [
+            1 if (v < len(outcome.model) and outcome.model[v]) else 0
+            for v in range(conversion.n_anf_vars)
+        ]
+    return result
+
+
 def run_sat(
     system: AnfSystem,
     config: Optional[Config] = None,
@@ -159,6 +234,8 @@ def run_sat(
     config = config or Config()
     budget = conflict_budget if conflict_budget is not None else config.sat_conflict_start
     conversion = (converter or AnfToCnf(config)).convert(system)
+    if config.use_cube and config.cube_backends:
+        return _run_sat_cube(system, config, budget, conversion, solver_config)
     if config.use_portfolio and config.portfolio_backends:
         return _run_sat_portfolio(
             system, config, budget, conversion, solver_config

@@ -1,0 +1,49 @@
+"""Cube-and-conquer on top of the portfolio pool.
+
+The classic split (Heule/Kullmann/Biere): a *splitter* partitions the
+CNF's search space into assumption cubes
+(:mod:`repro.cube.splitter`), a *conqueror* fans the cubes over the
+bounded :class:`repro.portfolio.BatchScheduler` pool with first-SAT
+early exit and all-cubes-refuted UNSAT aggregation
+(:mod:`repro.cube.conquer`).  Soundness leans on the backend assumption
+plumbing: backends report ``assumption_failure`` so a refuted cube is
+never conflated with a refuted formula, and cube-local units can never
+leak into the harvested level-0 facts (assumptions are decisions, never
+level 0).
+"""
+
+from .conquer import (
+    CUBE_CANCELLED,
+    CUBE_ERROR,
+    CUBE_INVALID_MODEL,
+    CUBE_REFUTED,
+    CUBE_SAT,
+    CUBE_UNKNOWN,
+    CubeConqueror,
+    CubeDisagreement,
+    CubeOutcome,
+    CubeStats,
+)
+from .splitter import (
+    DEFAULT_MAX_CUBES,
+    CubeSet,
+    occurrence_scores,
+    split_formula,
+)
+
+__all__ = [
+    "CUBE_CANCELLED",
+    "CUBE_ERROR",
+    "CUBE_INVALID_MODEL",
+    "CUBE_REFUTED",
+    "CUBE_SAT",
+    "CUBE_UNKNOWN",
+    "CubeConqueror",
+    "CubeDisagreement",
+    "CubeOutcome",
+    "CubeStats",
+    "DEFAULT_MAX_CUBES",
+    "CubeSet",
+    "occurrence_scores",
+    "split_formula",
+]

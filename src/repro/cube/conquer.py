@@ -1,0 +1,294 @@
+"""Conquer: fan a cube set over the bounded batch pool.
+
+Each cube becomes one work item — ``(formula, cube)`` handed to a
+backend as assumptions — scheduled over
+:class:`repro.portfolio.BatchScheduler` (the same bounded pool that runs
+the parallel Table II grid).  The first-win protocol piggybacks on the
+scheduler's ``cancel``/``stop_when`` hooks:
+
+* a **validated SAT** cube stops the run — sibling cubes observe the
+  shared cancel event at their next conflict slice and stand down;
+* an **UNSAT with** ``assumption_failure=False`` from an in-process
+  backend is a *global* refutation (the proof never needed the cube), so
+  it stops the run too — the whole-formula UNSAT shortcut;
+* otherwise the instance is UNSAT only when **every** scheduled cube is
+  refuted (plus the branches the splitter already closed).  A cube left
+  unknown, errored, or cancelled blocks the UNSAT verdict: a partition
+  with an open piece proves nothing.
+
+A validated SAT and a global refutation in one run is a soundness bug
+and raises :class:`CubeDisagreement`, mirroring the portfolio engine's
+disagreement policy.
+
+Learnt facts are merged exactly as the portfolio merges them: level-0
+units and binary clauses from every ``facts_safe`` backend result —
+sound even from cube runs, because assumptions enter the solver as
+decisions (level >= 1) and can never leak into ``level0_literals()`` —
+plus the splitter's root-propagation units.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..portfolio.backends import BackendResult, SolverBackend, create_backend
+from ..portfolio.batch import (
+    BatchItemError,
+    BatchScheduler,
+    batch_cancel,
+    mp_context,
+)
+from ..sat.dimacs import CnfFormula
+from ..sat.solver import SAT, UNSAT
+from .splitter import DEFAULT_MAX_CUBES, split_formula
+
+#: Per-cube stats row status values.
+CUBE_SAT = "sat"
+CUBE_REFUTED = "refuted"
+CUBE_UNKNOWN = "unknown"
+CUBE_CANCELLED = "cancelled"
+CUBE_ERROR = "error"
+CUBE_INVALID_MODEL = "invalid-model"
+
+
+class CubeDisagreement(RuntimeError):
+    """A validated SAT cube and a global refutation cannot coexist."""
+
+
+@dataclass
+class CubeStats:
+    """What happened to one cube during a conquer run."""
+
+    index: int
+    cube: Tuple[int, ...]
+    backend: str
+    status: str
+    seconds: float = 0.0
+    conflicts: int = 0
+    assumption_failure: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class CubeOutcome:
+    """The aggregated verdict of one cube-and-conquer run."""
+
+    verdict: Optional[bool]
+    model: Optional[List[int]] = None
+    sat_cube: Optional[Tuple[int, ...]] = None
+    winner: Optional[str] = None
+    stats: List[CubeStats] = field(default_factory=list)
+    n_cubes: int = 0
+    n_refuted_at_split: int = 0
+    #: True when UNSAT came from the whole-formula shortcut (or the
+    #: splitter's root propagation), not from refuting every cube.
+    global_unsat: bool = False
+    wall_seconds: float = 0.0
+    level0: List[int] = field(default_factory=list)
+    binaries: List[Tuple[int, int]] = field(default_factory=list)
+    results: List[Optional[BackendResult]] = field(default_factory=list)
+    variables: List[int] = field(default_factory=list)
+
+    @property
+    def n_cancelled(self) -> int:
+        return sum(1 for s in self.stats if s.status == CUBE_CANCELLED)
+
+    @property
+    def n_refuted(self) -> int:
+        return self.n_refuted_at_split + sum(
+            1 for s in self.stats if s.status == CUBE_REFUTED
+        )
+
+
+def _solve_cube(item):
+    """One cube, shaped for :meth:`BatchScheduler.map` (module-level for
+    picklability; the cancel event arrives via :func:`batch_cancel`)."""
+    index, cube, backend, formula, deadline, conflict_budget = item
+    t0 = time.monotonic()
+    result = backend.solve(
+        formula,
+        deadline=deadline,
+        conflict_budget=conflict_budget,
+        cancel=batch_cancel(),
+        assumptions=list(cube),
+    )
+    return index, result, time.monotonic() - t0
+
+
+class CubeConqueror:
+    """Split one CNF into cubes and conquer them over the batch pool.
+
+    ``backends`` (specs or instances) are assigned round-robin over the
+    cube list, so a heterogeneous pool — personalities, seed-diversified
+    copies, external ``dimacs:`` binaries — spreads across the
+    partition.  ``jobs`` bounds the worker processes (``1`` is the
+    deterministic sequential schedule used by the equivalence tests);
+    ``validate`` is the usual ``model_bits -> bool`` hook — SAT claims
+    from a cube are demoted unless the model validates, exactly like the
+    portfolio engine.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[Union[str, SolverBackend]],
+        jobs: Optional[int] = 1,
+        depth: int = 4,
+        mode: str = "lookahead",
+        max_cubes: int = DEFAULT_MAX_CUBES,
+        validate: Optional[Callable[[List[int]], bool]] = None,
+    ):
+        if not backends:
+            raise ValueError("cube-and-conquer needs at least one backend")
+        self.backends = [
+            create_backend(b) if isinstance(b, str) else b for b in backends
+        ]
+        self.jobs = jobs
+        self.depth = depth
+        self.mode = mode
+        self.max_cubes = max_cubes
+        self.validate = validate
+
+    def run(
+        self,
+        formula: CnfFormula,
+        timeout_s: Optional[float] = None,
+        conflict_budget: Optional[int] = None,
+    ) -> CubeOutcome:
+        start = time.monotonic()
+        deadline = start + timeout_s if timeout_s is not None else None
+        cubeset = split_formula(
+            formula, self.depth, mode=self.mode, max_cubes=self.max_cubes
+        )
+        outcome = CubeOutcome(
+            None,
+            n_cubes=len(cubeset.cubes),
+            n_refuted_at_split=len(cubeset.refuted),
+            variables=list(cubeset.variables),
+        )
+        if cubeset.root_unsat:
+            outcome.verdict = UNSAT
+            outcome.global_unsat = True
+            outcome.wall_seconds = time.monotonic() - start
+            return outcome
+
+        backends = [b for b in self.backends if b.available()]
+        if not backends:
+            outcome.wall_seconds = time.monotonic() - start
+            return outcome
+        items = [
+            (i, cube, backends[i % len(backends)], formula, deadline,
+             conflict_budget)
+            for i, cube in enumerate(cubeset.cubes)
+        ]
+        cancel = mp_context().Event()
+
+        def stop_when(entry) -> bool:
+            _, res, _ = entry
+            res = self._validated(res)
+            if res.status is SAT:
+                return True
+            # The whole-formula shortcut (in-process backends only:
+            # DimacsBackend flags every cubed UNSAT conservatively).
+            return res.status is UNSAT and not res.assumption_failure
+
+        raw = BatchScheduler(self.jobs).map(
+            _solve_cube, items, cancel=cancel, stop_when=stop_when
+        )
+        self._aggregate(outcome, cubeset, items, raw)
+        outcome.wall_seconds = time.monotonic() - start
+        return outcome
+
+    # -- aggregation --------------------------------------------------------
+
+    def _aggregate(self, outcome, cubeset, items, raw) -> None:
+        results: List[Optional[BackendResult]] = [None] * len(items)
+        for slot, entry in enumerate(raw):
+            index, cube, backend = items[slot][0], items[slot][1], items[slot][2]
+            if isinstance(entry, BatchItemError):
+                outcome.stats.append(CubeStats(
+                    index, cube, backend.name, CUBE_ERROR,
+                    error="{}: {}".format(entry.kind, entry.error),
+                ))
+                continue
+            index, res, seconds = entry
+            res = self._validated(res)
+            results[index] = res
+            outcome.stats.append(CubeStats(
+                index, cube, backend.name, self._status_of(res),
+                seconds=seconds, conflicts=res.conflicts,
+                assumption_failure=res.assumption_failure, error=res.error,
+            ))
+        outcome.results = results
+
+        sat_idx = [i for i, r in enumerate(results) if r is not None
+                   and r.status is SAT]
+        global_idx = [i for i, r in enumerate(results) if r is not None
+                      and r.status is UNSAT and not r.assumption_failure]
+        if sat_idx and global_idx:
+            raise CubeDisagreement(
+                "cube {} claims a validated model but cube {} refuted the "
+                "formula globally".format(min(sat_idx), min(global_idx))
+            )
+        if sat_idx:
+            # Lowest cube index wins: deterministic given the same result
+            # set, regardless of worker finish order.
+            win = min(sat_idx)
+            outcome.verdict = SAT
+            outcome.model = results[win].model
+            outcome.sat_cube = cubeset.cubes[win]
+            outcome.winner = items[win][2].name
+        elif global_idx:
+            outcome.verdict = UNSAT
+            outcome.global_unsat = True
+            outcome.winner = items[min(global_idx)][2].name
+        elif results and all(
+            r is not None and r.status is UNSAT for r in results
+        ):
+            # Every scheduled cube refuted; together with the splitter's
+            # closed branches the partition is exhausted.
+            outcome.verdict = UNSAT
+
+        self._merge_facts(outcome, cubeset, results)
+
+    def _merge_facts(self, outcome, cubeset, results) -> None:
+        seen: Set[int] = set()
+        binaries: Set[Tuple[int, int]] = set()
+        for res in results:
+            if res is None or not res.facts_safe:
+                continue
+            for lit in res.level0:
+                if lit not in seen:
+                    seen.add(lit)
+                    outcome.level0.append(lit)
+            binaries.update(res.binaries)
+        for lit in cubeset.forced:
+            if lit not in seen:
+                seen.add(lit)
+                outcome.level0.append(lit)
+        outcome.binaries = sorted(binaries)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _validated(self, res: BackendResult) -> BackendResult:
+        if res.status is SAT and self.validate is not None:
+            if res.model is None or not self.validate(res.model):
+                res.status = None
+                res.demoted = True
+                res.error = res.error or "model failed validation"
+        return res
+
+    @staticmethod
+    def _status_of(res: BackendResult) -> str:
+        if res.demoted:
+            return CUBE_INVALID_MODEL
+        if res.status is SAT:
+            return CUBE_SAT
+        if res.status is UNSAT:
+            return CUBE_REFUTED
+        if res.cancelled:
+            return CUBE_CANCELLED
+        if res.error:
+            return CUBE_ERROR
+        return CUBE_UNKNOWN

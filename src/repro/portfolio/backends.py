@@ -60,6 +60,16 @@ class BackendResult:
     literals / literal pairs); they are only populated when
     ``facts_safe`` — a backend whose preprocessing is merely
     equisatisfiable (BVE) must not contribute facts.
+
+    ``assumption_failure`` qualifies an UNSAT answer produced under
+    non-empty ``assumptions``: when True the refutation may hinge on the
+    assumed cube, so it must *not* be read as a global UNSAT.  When an
+    in-process backend reports UNSAT with the flag False, the refutation
+    is unconditional even though assumptions were supplied — the
+    cube-and-conquer scheduler uses that as a whole-run shortcut.
+    External DIMACS backends receive assumptions as appended unit
+    clauses, so their UNSAT under a cube is always flagged
+    (conservatively) as assumption-relative.
     """
 
     status: Optional[bool]
@@ -70,6 +80,7 @@ class BackendResult:
     facts_safe: bool = False
     cancelled: bool = False
     demoted: bool = False
+    assumption_failure: bool = False
     error: Optional[str] = None
 
 
@@ -91,13 +102,17 @@ def sliced_solve(
     conflict_budget: Optional[int] = None,
     cancel=None,
     slice_conflicts: int = SLICE_CONFLICTS,
+    assumptions: Sequence[int] = (),
 ) -> Optional[bool]:
     """Run CDCL in conflict slices until a verdict, the deadline, budget
     exhaustion, or cancellation — whichever comes first.
 
     The one interruptible-solve policy shared by every consumer
     (backends, the experiment harness): a deadline already in the past
-    never buys a conflict slice.
+    never buys a conflict slice.  ``assumptions`` are re-applied on every
+    slice; after an UNSAT verdict the caller reads
+    ``solver.assumptions_failed`` to tell a cube-relative refutation from
+    a global one.
     """
     budget_left = conflict_budget
     while True:
@@ -111,7 +126,9 @@ def sliced_solve(
                 return None
             slice_budget = min(slice_budget, budget_left)
         before = solver.num_conflicts
-        verdict = solver.solve(conflict_budget=slice_budget)
+        verdict = solver.solve(
+            assumptions=assumptions, conflict_budget=slice_budget
+        )
         if budget_left is not None:
             budget_left -= solver.num_conflicts - before
         if verdict is not None:
@@ -122,7 +139,14 @@ class SolverBackend:
     """Protocol for portfolio members.  Subclasses implement
     :meth:`solve`; ``name`` identifies the backend in stats and the
     registry; ``available()`` lets a backend opt out at runtime (missing
-    binary) without failing the portfolio."""
+    binary) without failing the portfolio.
+
+    ``assumptions`` (encoded literals) restrict the solve to one cube of
+    the search space.  In-process backends pass them to the CDCL solver
+    natively; external ones receive them as appended unit clauses.  An
+    UNSAT answer under assumptions carries
+    :attr:`BackendResult.assumption_failure` so cube schedulers never
+    mistake a refuted cube for a refuted formula."""
 
     name: str = "backend"
     #: Whether :meth:`solve` honours ``conflict_budget``.  External
@@ -140,6 +164,7 @@ class SolverBackend:
         deadline: Optional[float] = None,
         conflict_budget: Optional[int] = None,
         cancel=None,
+        assumptions: Sequence[int] = (),
     ) -> BackendResult:
         raise NotImplementedError
 
@@ -199,6 +224,7 @@ class CdclBackend(SolverBackend):
         deadline: Optional[float] = None,
         conflict_budget: Optional[int] = None,
         cancel=None,
+        assumptions: Sequence[int] = (),
     ) -> BackendResult:
         deadline = _deadline_of(timeout_s, deadline)
         # Cancellation/deadline checked before the heavy setup too: a
@@ -224,14 +250,22 @@ class CdclBackend(SolverBackend):
         preprocessor = None
         if self.personality == "lingeling":
             facts_safe = False  # BVE is equisatisfiable, not equivalent
-            preprocessor = Preprocessor(n_vars, clauses)
-            pre = preprocessor.run()
-            if not pre.status:
-                return BackendResult(UNSAT, conflicts=0, facts_safe=False)
-            clauses = pre.clauses
+            if not assumptions:
+                # BVE may eliminate an assumed variable, silently
+                # dropping the cube constraint — under assumptions the
+                # personality runs unpreprocessed (facts stay withheld:
+                # the personality contract, not the preprocessing, fixes
+                # the flag).
+                preprocessor = Preprocessor(n_vars, clauses)
+                pre = preprocessor.run()
+                if not pre.status:
+                    return BackendResult(UNSAT, conflicts=0, facts_safe=False)
+                clauses = pre.clauses
 
         solver = Solver(self._config())
         solver.ensure_vars(n_vars)
+        if assumptions:
+            solver.ensure_vars(1 + max(a >> 1 for a in assumptions))
         for clause in clauses:
             if not solver.add_clause(clause):
                 return self._harvest(
@@ -256,12 +290,17 @@ class CdclBackend(SolverBackend):
             deadline=deadline,
             conflict_budget=conflict_budget,
             cancel=cancel,
+            assumptions=assumptions,
         )
 
         result = BackendResult(
             verdict,
             conflicts=solver.num_conflicts,
             cancelled=verdict is None and _cancelled(cancel),
+            # UNSAT with the flag still False is a *global* refutation
+            # even though a cube was assumed — the search never needed
+            # the assumptions to close the proof.
+            assumption_failure=verdict is UNSAT and solver.assumptions_failed,
         )
         if verdict is SAT:
             raw = [
@@ -319,6 +358,7 @@ class DimacsBackend(SolverBackend):
         deadline: Optional[float] = None,
         conflict_budget: Optional[int] = None,
         cancel=None,
+        assumptions: Sequence[int] = (),
     ) -> BackendResult:
         if not self.available():
             return BackendResult(None, error="binary not found: {}".format(
@@ -334,6 +374,15 @@ class DimacsBackend(SolverBackend):
             return BackendResult(None, cancelled=_cancelled(cancel))
         n_report = formula.n_vars
         plain = expand_xors(formula)
+        if assumptions:
+            # External solvers take no assumption interface over DIMACS;
+            # the cube rides along as unit clauses on a copy.  The
+            # refutation then never distinguishes cube from formula, so
+            # UNSAT below is flagged assumption-relative unconditionally.
+            cubed = CnfFormula(max(plain.n_vars, 1 + max(a >> 1 for a in assumptions)))
+            cubed.clauses = [list(c) for c in plain.clauses]
+            cubed.clauses.extend([a] for a in assumptions)
+            plain = cubed
 
         fd, path = tempfile.mkstemp(suffix=".cnf", text=True)
         try:
@@ -387,7 +436,10 @@ class DimacsBackend(SolverBackend):
             stdout = "".join(chunks)
             if killed:
                 return BackendResult(None, cancelled=_cancelled(cancel))
-            return self._parse(stdout, proc.returncode, n_report)
+            result = self._parse(stdout, proc.returncode, n_report)
+            if assumptions and result.status is UNSAT:
+                result.assumption_failure = True
+            return result
         finally:
             try:
                 os.unlink(path)

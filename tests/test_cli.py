@@ -147,10 +147,51 @@ def test_backend_flag_unavailable_binary(anf_file, capsys):
     assert "s UNKNOWN" in out
 
 
+def test_cube_flag_sequential(anf_file, capsys):
+    code = main(["--anfread", anf_file, "--solve", "--cube",
+                 "--cube-depth", "2", "--jobs", "1", "--verb", "2"]
+                + NO_LEARN)
+    out = capsys.readouterr().out
+    assert code == 10
+    assert "s SATISFIABLE" in out
+    assert "c cube:" in out
+    assert "[winner]" in out
+    model_line = [l for l in out.splitlines() if l.startswith("v ")][0]
+    lits = set(model_line.split()[1:-1])
+    assert {"2", "3", "4", "5", "-6"} <= lits
+
+
+def test_cube_flag_unsat(tmp_path, capsys):
+    path = tmp_path / "unsat.anf"
+    path.write_text("x1*x2 + 1\nx1*x2\n")
+    code = main(["--anfread", str(path), "--solve", "--cube"] + NO_LEARN)
+    out = capsys.readouterr().out
+    assert code == 20
+    assert "s UNSATISFIABLE" in out
+
+
+def test_cube_composes_with_portfolio(anf_file, capsys):
+    code = main(["--anfread", anf_file, "--solve", "--cube", "--portfolio",
+                 "--cube-depth", "1", "--jobs", "1"] + NO_LEARN)
+    out = capsys.readouterr().out
+    assert code == 10
+    assert "s SATISFIABLE" in out
+
+
+def test_cube_flag_unavailable_backend(anf_file, capsys):
+    code = main(["--anfread", anf_file, "--solve", "--cube",
+                 "--backend", "dimacs:no-such-solver-binary"] + NO_LEARN)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "backend unavailable" in out
+    assert "s UNKNOWN" in out
+
+
 def test_jobs_flag_default():
     parser = build_parser()
     args = parser.parse_args(["--anfread", "x.anf"])
     assert args.jobs == 1 and not args.portfolio and args.backend is None
+    assert not args.cube and args.cube_depth == 4
 
 
 def test_quiet_mode(anf_file, capsys):

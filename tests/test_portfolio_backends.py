@@ -134,6 +134,44 @@ def test_budget_exhaustion_returns_unknown(backend):
     assert result.conflicts <= 30 + 500  # one slice of overshoot at most
 
 
+def test_assumptions_restrict_models(backend):
+    # sat_micro leaves x0 free: a cube pinning either phase must be
+    # honoured (natively in-process, as appended units over DIMACS).
+    for lit, bit in ((0, 1), (1, 0)):  # mk_lit(0) / mk_lit(0, True)
+        result = backend.solve(sat_micro(), timeout_s=20, assumptions=[lit])
+        assert result.status is True
+        assert not result.assumption_failure
+        if result.model is not None:
+            assert result.model[0] == bit
+            _check_model(sat_micro(), result.model)
+
+
+def test_cube_unsat_is_flagged_assumption_relative(backend):
+    # sat_micro forces x1; assuming its negation refutes the *cube*, not
+    # the formula — every backend must flag the UNSAT as
+    # assumption-relative so a cube scheduler never misreads it.
+    result = backend.solve(sat_micro(), timeout_s=20, assumptions=[3])
+    assert result.status is False
+    assert result.assumption_failure
+
+
+def test_plain_unsat_carries_no_assumption_flag(backend):
+    result = backend.solve(unsat_micro(), timeout_s=20)
+    assert result.status is False
+    assert not result.assumption_failure
+
+
+def test_lingeling_assumptions_bypass_bve():
+    # BVE may eliminate an assumed variable; under a cube the lingeling
+    # personality must solve unpreprocessed and still honour the cube.
+    backend = CdclBackend("lingeling")
+    result = backend.solve(sat_micro(), timeout_s=20, assumptions=[1])
+    assert result.status is True and result.model[0] == 0
+    assert not result.facts_safe  # the personality contract is unchanged
+    result = backend.solve(sat_micro(), timeout_s=20, assumptions=[3])
+    assert result.status is False and result.assumption_failure
+
+
 def test_facts_safety_flag(backend):
     result = backend.solve(sat_micro(), timeout_s=20)
     if isinstance(backend, DimacsBackend):
