@@ -3,11 +3,18 @@
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-gf2 bench-elimlin bench-cnf bench-portfolio bench-cube
+.PHONY: test test-fast lint bench bench-smoke bench-gf2 bench-elimlin bench-cnf bench-portfolio bench-cube
 
 # Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+# Static analysis: the AST invariant linter (src + benchmarks; stdlib
+# only, runs in seconds).  Exit 0 clean, 1 findings.  Set
+# LINT_FORMAT=json for the machine-readable report; see README
+# "Static analysis" for the rules and the suppression pragma.
+lint:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis
 
 # Developer inner loop: everything except the `slow`-marked
 # cipher-scale tests (see pytest.ini).

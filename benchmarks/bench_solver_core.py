@@ -33,7 +33,7 @@ from repro.satcomp import generators
 from .conftest import bench_count
 
 
-def _ab_best(fn, rounds):
+def _ab_best(fn, rounds):  # repro: allow[MASK-PATH] the bench seed leg: times the tuple oracle against the mask path
     """Interleaved best-of timing: (mask_path_s, tuple_oracle_s).
 
     Interleaving the two paths round by round cancels machine drift, and
@@ -246,7 +246,7 @@ def test_anf_wide_probing_sweep_speck(benchmark):
 # ---------------------------------------------------------------------------
 
 
-def _seed_gauss_jordan(polynomials):
+def _seed_gauss_jordan(polynomials):  # repro: allow[ONE-KERNEL] the bench seed leg: runs the rref_gj oracle as the baseline under measurement
     """The seed GJE data path: per-cell encode, column-at-a-time\n    Gauss-Jordan (`rref_gj`, the pre-M4RI eliminator), per-row decode."""
     from repro.core.linearize import Linearization
 
@@ -335,7 +335,7 @@ def _seed_run_elimlin(polynomials, config, rng):
     return result
 
 
-def _seed_run_xl(polynomials, config, rng):
+def _seed_run_xl(polynomials, config, rng):  # repro: allow[ONE-KERNEL] the bench seed leg: replays the verbatim seed XL data path on the rref_gj oracle
     """The seed XL loop: tuple-set monomial bookkeeping, push-then-check
     caps (overshooting), scalar GJE data path on the `rref_gj`
     column-at-a-time eliminator."""
@@ -660,7 +660,7 @@ def _simon32_xl_matrix():
     return lin, rows
 
 
-def test_gf2_rref_m4ri_vs_gj(benchmark):
+def test_gf2_rref_m4ri_vs_gj(benchmark):  # repro: allow[ONE-KERNEL] the differential bench: races the kernel against the rref_gj oracle bit-for-bit
     """The isolated elimination kernel: Four-Russians `rref` vs the seed
     column-at-a-time Gauss-Jordan oracle `rref_gj`, on the real
     Simon32-XL linearisation.  The two must agree bit-for-bit (pivot

@@ -1,0 +1,50 @@
+"""Analysis run configuration: targets, rule selection, overrides.
+
+The defaults encode this repo's layout (scan ``src`` and
+``benchmarks``; fingerprints pinned in ``tests/oracle_fingerprints.json``)
+but everything is overridable — the fixture self-tests re-scope rules to
+temp directories through the same knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Directories ``python -m repro.analysis`` scans when none are given.
+DEFAULT_TARGETS = ("src", "benchmarks")
+
+#: Directory names never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+#: The frozen differential oracles: (module path, qualified name).
+#: Shared by the ORACLE-FREEZE rule, the --update-fingerprints CLI and
+#: the tier-1 fingerprint test.
+ORACLE_FUNCTIONS = (
+    ("repro/gf2/matrix.py", "GF2Matrix.rref_gj"),
+    ("repro/anf/monomial.py", "tuple_oracle"),
+    ("repro/core/anf_to_cnf.py", "AnfToCnf.convert_scalar"),
+    ("repro/core/anf_to_cnf.py", "AnfToCnf.convert_polynomials_scalar"),
+    ("repro/core/linearize.py", "Linearization.to_matrix_scalar"),
+    ("repro/core/linearize.py", "Linearization.rows_to_polys_scalar"),
+)
+
+#: Default location of the pinned oracle fingerprints, relative to the
+#: analysis root.
+FINGERPRINTS_PATH = "tests/oracle_fingerprints.json"
+
+
+@dataclass
+class AnalysisConfig:
+    """One analysis run's configuration."""
+
+    #: Root everything is resolved/displayed relative to.
+    root: Path = field(default_factory=Path.cwd)
+    #: Only run rules with these ids (None = all registered rules).
+    rule_ids: Optional[List[str]] = None
+    #: Per-rule settings overrides: ``{"DET-RNG": {"clock_paths": [""]}}``.
+    rule_settings: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def settings_for(self, rule_id: str) -> Dict[str, Any]:
+        return self.rule_settings.get(rule_id, {})

@@ -1,0 +1,159 @@
+"""Normalized-AST fingerprints for the frozen differential oracles.
+
+The repo's correctness story leans on a handful of *oracle* functions
+kept verbatim at seed semantics (``GF2Matrix.rref_gj``, the scalar
+converter twins, ``monomial.tuple_oracle`` — see the ORACLE-FREEZE rule
+for the list).  Their value is being unchanged; "improving" one
+silently invalidates every differential test that pins a fast path to
+it.  This module hashes each oracle's **normalized AST** — docstrings
+stripped, formatting and comments invisible by construction — so lint
+(and the tier-1 fingerprint test) can detect any semantic edit while
+staying robust to whitespace/comment churn around it.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Prefix recorded in the fingerprint file, so the hash scheme is
+#: self-describing and can be evolved.
+HASH_PREFIX = "sha256:"
+
+
+def find_function(tree: ast.AST, qualname: str) -> Optional[ast.AST]:
+    """The def node for ``qualname`` (``Class.method`` or ``func``)."""
+    parts = qualname.split(".")
+    scope: ast.AST = tree
+    for i, part in enumerate(parts):
+        found = None
+        for node in ast.iter_child_nodes(scope):
+            if (
+                isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+                and node.name == part
+            ):
+                found = node
+                break
+        if found is None:
+            return None
+        scope = found
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return scope
+    return None
+
+
+def _strip_docstring(node: ast.AST) -> ast.AST:
+    """Drop the leading docstring Expr (normalization: docstring edits
+    do not change oracle semantics)."""
+    body = getattr(node, "body", None)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+        and len(body) > 1
+    ):
+        node.body = body[1:]  # type: ignore[attr-defined]
+    return node
+
+
+def normalized_dump(node: ast.AST) -> str:
+    """The canonical text hashed for a function: ``ast.dump`` without
+    source locations, after docstring stripping.  Comments and
+    formatting never reach the AST, so only semantic edits change it."""
+    import copy
+
+    clean = _strip_docstring(copy.deepcopy(node))
+    return ast.dump(clean, annotate_fields=True, include_attributes=False)
+
+
+def fingerprint_node(node: ast.AST) -> str:
+    digest = hashlib.sha256(normalized_dump(node).encode("utf-8")).hexdigest()
+    return HASH_PREFIX + digest
+
+
+def fingerprint_source(source: str, qualname: str) -> Optional[str]:
+    """Fingerprint of ``qualname`` inside ``source`` (None if absent)."""
+    node = find_function(ast.parse(source), qualname)
+    if node is None:
+        return None
+    return fingerprint_node(node)
+
+
+def oracle_key(file: str, qualname: str) -> str:
+    return "{}::{}".format(file, qualname)
+
+
+def compute_fingerprints(
+    root: Path, oracles: Sequence[Tuple[str, str]], src_dir: str = "src"
+) -> Dict[str, Optional[str]]:
+    """Fingerprints for ``(file, qualname)`` oracles under ``root``.
+
+    ``file`` is the module path relative to the source tree (e.g.
+    ``repro/gf2/matrix.py``); missing files or functions map to None so
+    callers can report exactly what drifted.
+    """
+    out: Dict[str, Optional[str]] = {}
+    for file, qualname in oracles:
+        path = root / src_dir / file
+        if not path.is_file():
+            path = root / file
+        key = oracle_key(file, qualname)
+        if not path.is_file():
+            out[key] = None
+            continue
+        out[key] = fingerprint_source(
+            path.read_text(encoding="utf-8"), qualname
+        )
+    return out
+
+
+def load_fingerprints(path: Path) -> Dict[str, str]:
+    """The pinned ``key -> hash`` map from a fingerprint JSON file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    pins = data.get("fingerprints", {})
+    if not isinstance(pins, dict):
+        raise ValueError("malformed fingerprint file: " + str(path))
+    return dict(pins)
+
+
+def write_fingerprints(path: Path, pins: Dict[str, str]) -> None:
+    """Write the pinned map (sorted keys, stable diffs)."""
+    payload = {
+        "_comment": (
+            "Normalized-AST fingerprints of the frozen differential "
+            "oracles.  Regenerate ONLY for a deliberate, reviewed oracle "
+            "change: PYTHONPATH=src python -m repro.analysis "
+            "--update-fingerprints"
+        ),
+        "fingerprints": {k: pins[k] for k in sorted(pins)},
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def diff_fingerprints(
+    expected: Dict[str, str], actual: Dict[str, Optional[str]]
+) -> List[str]:
+    """Human lines describing drift between pinned and recomputed."""
+    problems = []
+    for key in sorted(set(expected) | set(actual)):
+        exp, act = expected.get(key), actual.get(key)
+        if act is None:
+            problems.append("{}: oracle function missing".format(key))
+        elif exp is None:
+            problems.append("{}: no pinned fingerprint".format(key))
+        elif exp != act:
+            problems.append(
+                "{}: fingerprint drifted (pinned {}, recomputed {})".format(
+                    key, exp[:18] + "...", act[:18] + "..."
+                )
+            )
+    return problems

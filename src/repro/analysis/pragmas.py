@@ -1,0 +1,154 @@
+"""The suppression pragma: ``# repro: allow[RULE-ID] <justification>``.
+
+A pragma acknowledges one rule violation at one site, with the *why*
+recorded in the source next to the exception itself:
+
+* on an ordinary line, it suppresses matching findings on **that line**;
+* trailing the ``def`` line of a function, it suppresses matching
+  findings anywhere in **that function's body** (whole-function scope).
+
+Suppression is deliberately noisy to abuse: a pragma without a
+justification is itself a finding (:data:`PRAGMA_BARE`), and a pragma
+naming a rule id the analyzer does not know is a finding
+(:data:`PRAGMA_UNKNOWN`).  Neither meta-finding can be suppressed — a
+pragma cannot vouch for itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .findings import Finding
+
+#: Meta-rule id: pragma with no justification text.
+PRAGMA_BARE = "PRAGMA-BARE"
+#: Meta-rule id: pragma naming an unknown rule id.
+PRAGMA_UNKNOWN = "PRAGMA-UNKNOWN"
+#: Meta-rule ids are never themselves suppressible.
+META_RULE_IDS = (PRAGMA_BARE, PRAGMA_UNKNOWN)
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[\s*([A-Za-z0-9_.-]+)\s*\]\s*(.*?)\s*$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    rule: str
+    line: int
+    col: int
+    justification: str
+
+
+@dataclass
+class SuppressionIndex:
+    """Pragmas of one module, indexed for the two scoping modes."""
+
+    pragmas: List[Pragma] = field(default_factory=list)
+    #: line -> pragmas trailing that exact line.
+    by_line: Dict[int, List[Pragma]] = field(default_factory=dict)
+    #: (def_line, end_line, pragma) spans for whole-function scope.
+    spans: List[Tuple[int, int, Pragma]] = field(default_factory=list)
+
+    def match(self, rule: str, line: int) -> Optional[Pragma]:
+        """The pragma suppressing ``rule`` at ``line``, if any.
+
+        Exact-line pragmas win over enclosing function-scope ones; among
+        nested function spans the innermost (latest ``def`` line) wins.
+        """
+        if rule in META_RULE_IDS:
+            return None
+        for pragma in self.by_line.get(line, ()):  # exact line
+            if pragma.rule == rule:
+                return pragma
+        best: Optional[Tuple[int, Pragma]] = None
+        for start, end, pragma in self.spans:
+            if pragma.rule == rule and start <= line <= end:
+                if best is None or start > best[0]:
+                    best = (start, pragma)
+        return best[1] if best else None
+
+
+def scan_pragmas(source: str) -> List[Pragma]:
+    """All pragma comments of ``source``, via the token stream (so
+    pragma-looking text inside string literals never counts)."""
+    out: List[Pragma] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _PRAGMA_RE.match(tok.string)
+            if m:
+                out.append(
+                    Pragma(
+                        rule=m.group(1),
+                        line=tok.start[0],
+                        col=tok.start[1] + 1,
+                        justification=m.group(2),
+                    )
+                )
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def build_index(source: str, tree: ast.AST) -> SuppressionIndex:
+    """Parse pragmas and attach function-scope spans from the AST."""
+    index = SuppressionIndex(pragmas=scan_pragmas(source))
+    for pragma in index.pragmas:
+        index.by_line.setdefault(pragma.line, []).append(pragma)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for pragma in index.by_line.get(node.lineno, ()):
+                index.spans.append(
+                    (node.lineno, node.end_lineno or node.lineno, pragma)
+                )
+    return index
+
+
+def pragma_findings(
+    index: SuppressionIndex, known_rule_ids: Iterable[str], file: str
+) -> List[Finding]:
+    """The meta-findings for malformed pragmas of one module."""
+    known = set(known_rule_ids)
+    out: List[Finding] = []
+    for pragma in index.pragmas:
+        if pragma.rule not in known:
+            out.append(
+                Finding(
+                    rule=PRAGMA_UNKNOWN,
+                    file=file,
+                    line=pragma.line,
+                    col=pragma.col,
+                    message="pragma names unknown rule id {!r}".format(
+                        pragma.rule
+                    ),
+                    hint="run with --list-rules for the valid rule ids",
+                )
+            )
+        elif not pragma.justification:
+            out.append(
+                Finding(
+                    rule=PRAGMA_BARE,
+                    file=file,
+                    line=pragma.line,
+                    col=pragma.col,
+                    message=(
+                        "bare suppression of {}: a pragma must carry a "
+                        "justification".format(pragma.rule)
+                    ),
+                    hint=(
+                        "write '# repro: allow[{}] <why this site is "
+                        "exempt>'".format(pragma.rule)
+                    ),
+                )
+            )
+    return out

@@ -1,0 +1,113 @@
+"""DET-RNG: randomness is threaded, clocks are monotonic.
+
+The standing invariants (ROADMAP, PR 5): ``seed=None`` solvers consult
+no RNG, seeded runs are deterministic per seed — which is only true if
+every random draw comes from an explicitly threaded
+``random.Random(seed)`` instance, never the module-global generator
+(whose state is shared, order-dependent, and fork-inherited).  And
+wall-clock measurement in the solver/portfolio paths must use a
+monotonic clock (``time.perf_counter()`` / ``time.monotonic()``):
+``time.time()`` jumps under NTP and ``datetime.now()`` is wall time
+with timezone semantics — both corrupt deadlines and PAR-2 scores.
+
+Flags:
+
+* any ``random.<fn>()`` module-global call (``random.Random(seed)``
+  construction is the one allowed use — that *is* the threading);
+* ``from random import <fn>`` for anything but ``Random``;
+* ``time.time()`` / ``datetime.now()`` in the configured
+  solver/portfolio path scopes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..rules_base import ModuleContext, Rule, path_in
+
+
+class DetRngRule(Rule):
+    id = "DET-RNG"
+    description = (
+        "no module-global random.* calls anywhere; RNG only via a "
+        "threaded random.Random(seed); monotonic clocks in "
+        "solver/portfolio paths"
+    )
+    fix_hint = (
+        "thread an explicit random.Random(seed) through the call chain"
+    )
+    default_settings = {
+        #: random-module attributes that are legitimate to call.
+        "allowed_random_attrs": ["Random", "SystemRandom"],
+        #: Path scopes where wall-clock APIs are banned.
+        "clock_paths": [
+            "repro/sat/",
+            "repro/portfolio/",
+            "repro/cube/",
+            "repro/core/",
+            "repro/experiments/",
+        ],
+    }
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        recv = func.value
+        if isinstance(recv, ast.Name) and recv.id == "random":
+            if func.attr in self.settings["allowed_random_attrs"]:
+                return
+            if func.attr == "seed":
+                ctx.report(
+                    self,
+                    node,
+                    "random.seed() reseeds the shared module-global "
+                    "generator",
+                    "seed a private random.Random(seed) instead — "
+                    "global reseeding breaks every other consumer",
+                )
+            else:
+                ctx.report(
+                    self,
+                    node,
+                    "module-global random.{}() call (shared, "
+                    "order-dependent state)".format(func.attr),
+                )
+            return
+        if not path_in(ctx.modpath, self.settings["clock_paths"]):
+            return
+        if func.attr == "time" and isinstance(recv, ast.Name) and recv.id == "time":
+            ctx.report(
+                self,
+                node,
+                "time.time() wall clock in a solver/portfolio path",
+                "use time.perf_counter() (or time.monotonic()) for "
+                "interval measurement — wall time jumps under NTP",
+            )
+        elif func.attr in ("now", "utcnow", "today") and (
+            (isinstance(recv, ast.Name) and recv.id == "datetime")
+            or (isinstance(recv, ast.Attribute) and recv.attr == "datetime")
+        ):
+            ctx.report(
+                self,
+                node,
+                "datetime.{}() wall clock in a solver/portfolio "
+                "path".format(func.attr),
+                "use time.perf_counter() (or time.monotonic()) for "
+                "interval measurement",
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: ModuleContext) -> None:
+        if node.module != "random" or node.level:
+            return
+        allowed = set(self.settings["allowed_random_attrs"])
+        for alias in node.names:
+            if alias.name not in allowed:
+                ctx.report(
+                    self,
+                    node,
+                    "'from random import {}' pulls a module-global "
+                    "generator function".format(alias.name),
+                    "import Random and thread random.Random(seed) "
+                    "explicitly",
+                )

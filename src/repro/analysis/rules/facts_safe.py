@@ -1,0 +1,140 @@
+"""FACTS-SAFE: no backend trusts the facts_safe default.
+
+The standing invariant (ROADMAP, PR 5): facts feeding back into the ANF
+come only from ``facts_safe`` backends — a backend whose preprocessing
+is merely equisatisfiable (BVE) must never export level-0 units, or the
+learning loop absorbs facts the original system does not imply.  The
+``BackendResult.facts_safe`` field defaults to False precisely so that
+forgetting it is *safe*; this rule makes forgetting it *visible*:
+
+* every ``BackendResult(...)`` construction must pass ``facts_safe=``
+  explicitly — the reader (and the reviewer) should never have to know
+  the dataclass default to audit a backend;
+* every backend class must mention ``facts_safe`` somewhere in its
+  body — a backend that never takes a position on fact safety has not
+  thought about it;
+* a function that marks results ``facts_safe=True`` while calling
+  equisatisfiable preprocessing (and never downgrading to False) is
+  flagged as a likely soundness bug.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..rules_base import ModuleContext, Rule, call_name
+
+
+def _mentions_facts_safe(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "facts_safe":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "facts_safe":
+            return True
+        if isinstance(sub, ast.keyword) and sub.arg == "facts_safe":
+            return True
+    return False
+
+
+def _is_const(node: ast.AST, value: bool) -> bool:
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+class FactsSafeRule(Rule):
+    id = "FACTS-SAFE"
+    description = (
+        "BackendResult constructions and backend classes set facts_safe "
+        "explicitly; equisatisfiable preprocessing never rides "
+        "facts_safe=True"
+    )
+    fix_hint = (
+        "pass facts_safe= explicitly (False unless the backend's "
+        "preprocessing is equivalence-preserving)"
+    )
+    default_settings = {
+        #: Constructor names whose calls must pass facts_safe=.
+        "result_names": ["BackendResult"],
+        #: Base-class names marking a backend implementation.
+        "backend_bases": ["SolverBackend"],
+        #: Classes exempt from the must-mention check (the protocol
+        #: root itself takes no position: subclasses must).
+        "exempt_classes": ["SolverBackend"],
+        #: Call names that signal equisatisfiable preprocessing.
+        "equisat_names": ["Preprocessor", "run_bve", "bve", "preprocess"],
+    }
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if call_name(node) not in self.settings["result_names"]:
+            return
+        if any(kw.arg == "facts_safe" for kw in node.keywords):
+            return
+        ctx.report(
+            self,
+            node,
+            "BackendResult constructed without an explicit facts_safe=",
+        )
+
+    def _is_backend_class(self, node: ast.ClassDef) -> bool:
+        if node.name in self.settings["exempt_classes"]:
+            return False
+        bases = set()
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.add(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.add(base.attr)
+        if bases & set(self.settings["backend_bases"]):
+            return True
+        return any(b.endswith("Backend") for b in bases)
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: ModuleContext) -> None:
+        if not self._is_backend_class(node):
+            return
+        if not _mentions_facts_safe(node):
+            ctx.report(
+                self,
+                node,
+                "backend class {} never sets facts_safe (default-"
+                "trusting)".format(node.name),
+                "state the backend's position explicitly: facts_safe="
+                "False unless its preprocessing is equivalence-"
+                "preserving",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: ModuleContext) -> None:
+        saw_true = None
+        saw_false = False
+        saw_equisat = None
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.keyword) and sub.arg == "facts_safe":
+                if _is_const(sub.value, True):
+                    saw_true = saw_true or sub.value
+                elif _is_const(sub.value, False):
+                    saw_false = True
+            elif isinstance(sub, ast.Assign):
+                for tgt in sub.targets:
+                    name = (
+                        tgt.id
+                        if isinstance(tgt, ast.Name)
+                        else tgt.attr
+                        if isinstance(tgt, ast.Attribute)
+                        else ""
+                    )
+                    if name == "facts_safe":
+                        if _is_const(sub.value, True):
+                            saw_true = saw_true or sub
+                        elif _is_const(sub.value, False):
+                            saw_false = True
+            elif isinstance(sub, ast.Call):
+                if call_name(sub) in self.settings["equisat_names"]:
+                    saw_equisat = saw_equisat or sub
+        if saw_true is not None and saw_equisat is not None and not saw_false:
+            ctx.report(
+                self,
+                saw_true,
+                "facts_safe=True in a function running equisatisfiable "
+                "preprocessing ({}) with no facts_safe=False "
+                "downgrade".format(call_name(saw_equisat)),
+                "equisatisfiable preprocessing (BVE-style) must withhold "
+                "facts: set facts_safe=False on that path",
+            )

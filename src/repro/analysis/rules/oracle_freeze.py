@@ -1,0 +1,113 @@
+"""ORACLE-FREEZE: the differential oracles stay verbatim.
+
+Every hot path in this repo is pinned bit-for-bit to a seed-semantics
+twin: ``GF2Matrix.rref_gj`` for the M4RI kernel, the scalar converter
+pair for the mask-native ANF→CNF bridge, the scalar matrix codecs for
+the linearisation layer, ``monomial.tuple_oracle`` for the mask path.
+Their entire value is being *unchanged*: an "improvement" to an oracle
+re-anchors every differential test to the new behaviour and the
+equivalence guarantee silently evaporates.
+
+This rule recomputes each oracle's normalized-AST fingerprint
+(:mod:`repro.analysis.fingerprint` — comments/formatting/docstrings
+do not affect it) and compares against the pinned hashes in
+``tests/oracle_fingerprints.json``.  Any drift fails lint with an
+explanation; a deliberate, reviewed oracle change regenerates the pins
+via ``python -m repro.analysis --update-fingerprints``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Optional
+
+from .. import fingerprint as fp
+from ..config import FINGERPRINTS_PATH, ORACLE_FUNCTIONS
+from ..rules_base import ModuleContext, Rule
+
+_FREEZE_EXPLANATION = (
+    "oracles keep verbatim seed semantics: every differential test pins "
+    "a fast path bit-for-bit to this function, so edits invalidate the "
+    "equivalence guarantee; if the change is deliberate and reviewed, "
+    "regenerate the pins with 'python -m repro.analysis "
+    "--update-fingerprints'"
+)
+
+
+class OracleFreezeRule(Rule):
+    id = "ORACLE-FREEZE"
+    description = (
+        "the frozen differential oracles (rref_gj, convert_scalar/"
+        "convert_polynomials_scalar, to_matrix_scalar/"
+        "rows_to_polys_scalar, tuple_oracle) match their pinned "
+        "normalized-AST fingerprints"
+    )
+    fix_hint = _FREEZE_EXPLANATION
+    default_settings = {
+        #: (module path, qualname) pairs under freeze.
+        "oracles": list(ORACLE_FUNCTIONS),
+        #: Pinned-hash file, resolved against the analysis root.
+        "fingerprints_path": FINGERPRINTS_PATH,
+        #: Analysis root (set by the runner).
+        "root": None,
+    }
+
+    def __init__(self, settings=None):
+        super().__init__(settings)
+        self._pins: Optional[Dict[str, str]] = None
+        self._pins_error: Optional[str] = None
+
+    def _load_pins(self) -> Optional[Dict[str, str]]:
+        if self._pins is None and self._pins_error is None:
+            root = Path(self.settings["root"] or ".")
+            path = root / self.settings["fingerprints_path"]
+            try:
+                self._pins = fp.load_fingerprints(path)
+            except FileNotFoundError:
+                self._pins_error = (
+                    "fingerprint file missing: {} (generate it with "
+                    "'python -m repro.analysis "
+                    "--update-fingerprints')".format(path)
+                )
+            except ValueError as exc:
+                self._pins_error = str(exc)
+        return self._pins
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        mine = [
+            (f, q) for f, q in self.settings["oracles"] if f == ctx.modpath
+        ]
+        if not mine:
+            return
+        pins = self._load_pins()
+        if pins is None:
+            ctx.report(self, ctx.tree, self._pins_error or "no fingerprints")
+            return
+        for file, qualname in mine:
+            key = fp.oracle_key(file, qualname)
+            node = fp.find_function(ctx.tree, qualname)
+            if node is None:
+                ctx.report(
+                    self,
+                    ctx.tree,
+                    "frozen oracle {} removed or renamed".format(qualname),
+                )
+                continue
+            actual = fp.fingerprint_node(node)
+            pinned = pins.get(key)
+            if pinned is None:
+                ctx.report(
+                    self,
+                    node,
+                    "frozen oracle {} has no pinned fingerprint".format(
+                        qualname
+                    ),
+                )
+            elif pinned != actual:
+                ctx.report(
+                    self,
+                    node,
+                    "frozen oracle {} was edited (normalized-AST "
+                    "fingerprint drifted from its pin)".format(qualname),
+                )

@@ -233,7 +233,9 @@ class CdclBackend(SolverBackend):
         if _cancelled(cancel) or (
             deadline is not None and time.monotonic() >= deadline
         ):
-            return BackendResult(None, cancelled=_cancelled(cancel))
+            return BackendResult(
+                None, facts_safe=False, cancelled=_cancelled(cancel)
+            )
         n_report = formula.n_vars
         facts_safe = True
 
@@ -269,7 +271,11 @@ class CdclBackend(SolverBackend):
         for clause in clauses:
             if not solver.add_clause(clause):
                 return self._harvest(
-                    BackendResult(UNSAT, conflicts=solver.num_conflicts),
+                    BackendResult(
+                        UNSAT,
+                        conflicts=solver.num_conflicts,
+                        facts_safe=False,
+                    ),
                     solver,
                     facts_safe,
                 )
@@ -280,7 +286,11 @@ class CdclBackend(SolverBackend):
             solver.attach_xor_engine(engine)
             if not solver.ok:
                 return self._harvest(
-                    BackendResult(UNSAT, conflicts=solver.num_conflicts),
+                    BackendResult(
+                        UNSAT,
+                        conflicts=solver.num_conflicts,
+                        facts_safe=False,
+                    ),
                     solver,
                     facts_safe,
                 )
@@ -295,6 +305,7 @@ class CdclBackend(SolverBackend):
 
         result = BackendResult(
             verdict,
+            facts_safe=False,  # _harvest upgrades for safe personalities
             conflicts=solver.num_conflicts,
             cancelled=verdict is None and _cancelled(cancel),
             # UNSAT with the flag still False is a *global* refutation
@@ -361,9 +372,13 @@ class DimacsBackend(SolverBackend):
         assumptions: Sequence[int] = (),
     ) -> BackendResult:
         if not self.available():
-            return BackendResult(None, error="binary not found: {}".format(
-                self.command[0] if self.command else "<empty command>"
-            ))
+            return BackendResult(
+                None,
+                facts_safe=False,
+                error="binary not found: {}".format(
+                    self.command[0] if self.command else "<empty command>"
+                ),
+            )
         deadline = _deadline_of(timeout_s, deadline)
         # Short-circuit before serialising the instance: a queued loser
         # whose race is already over must not write a temp CNF and exec
@@ -371,7 +386,9 @@ class DimacsBackend(SolverBackend):
         if _cancelled(cancel) or (
             deadline is not None and time.monotonic() >= deadline
         ):
-            return BackendResult(None, cancelled=_cancelled(cancel))
+            return BackendResult(
+                None, facts_safe=False, cancelled=_cancelled(cancel)
+            )
         n_report = formula.n_vars
         plain = expand_xors(formula)
         if assumptions:
@@ -392,7 +409,7 @@ class DimacsBackend(SolverBackend):
             if not any("{cnf}" in a for a in self.command):
                 argv.append(path)
             if deadline is not None and time.monotonic() >= deadline:
-                return BackendResult(None)
+                return BackendResult(None, facts_safe=False)
             try:
                 proc = subprocess.Popen(
                     argv,
@@ -405,7 +422,7 @@ class DimacsBackend(SolverBackend):
                     start_new_session=True,
                 )
             except OSError as exc:
-                return BackendResult(None, error=str(exc))
+                return BackendResult(None, facts_safe=False, error=str(exc))
             # Drain stdout on a thread: a solver printing more than a
             # pipe buffer (big "v" model lines) would otherwise block
             # writing while this loop only polls for exit — deadlock.
@@ -435,7 +452,9 @@ class DimacsBackend(SolverBackend):
                 proc.stdout.close()
             stdout = "".join(chunks)
             if killed:
-                return BackendResult(None, cancelled=_cancelled(cancel))
+                return BackendResult(
+                    None, facts_safe=False, cancelled=_cancelled(cancel)
+                )
             result = self._parse(stdout, proc.returncode, n_report)
             if assumptions and result.status is UNSAT:
                 result.assumption_failure = True
@@ -474,7 +493,8 @@ class DimacsBackend(SolverBackend):
         model = None
         if status is SAT and saw_model:
             model = [values.get(v, 0) for v in range(n_vars)]
-        return BackendResult(status, model=model)
+        # An external binary's preprocessing is a black box: never safe.
+        return BackendResult(status, model=model, facts_safe=False)
 
 
 # -- registry -------------------------------------------------------------

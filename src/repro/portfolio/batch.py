@@ -68,7 +68,7 @@ _BATCH_ITEMS: Sequence = ()
 _BATCH_CANCEL = None
 
 
-def _init_batch(fn, items, cancel) -> None:
+def _init_batch(fn, items, cancel) -> None:  # repro: allow[FORK-SAFETY] the documented fork-inheritance shipping point: runs once per worker in the pool initializer, before any item
     global _BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL
     _BATCH_FN = fn
     _BATCH_ITEMS = items

@@ -111,7 +111,7 @@ _WORKER_CANCEL = None
 _WORKER_FORMULA = None
 
 
-def _init_worker(cancel, formula) -> None:
+def _init_worker(cancel, formula) -> None:  # repro: allow[FORK-SAFETY] the documented fork-inheritance shipping point: runs once per worker in the pool initializer, before any solve
     global _WORKER_CANCEL, _WORKER_FORMULA
     _WORKER_CANCEL = cancel
     _WORKER_FORMULA = formula
@@ -132,7 +132,11 @@ def _solve_entry(
             cancel=_WORKER_CANCEL,
         )
     except Exception as exc:  # a crashing backend loses, not the run
-        result = BackendResult(None, error="{}: {}".format(type(exc).__name__, exc))
+        result = BackendResult(
+            None,
+            facts_safe=False,
+            error="{}: {}".format(type(exc).__name__, exc),
+        )
     return index, result, time.monotonic() - start
 
 
@@ -248,7 +252,9 @@ class PortfolioRunner:
                 )
             except Exception as exc:
                 result = BackendResult(
-                    None, error="{}: {}".format(type(exc).__name__, exc)
+                    None,
+                    facts_safe=False,
+                    error="{}: {}".format(type(exc).__name__, exc),
                 )
             seconds[index] = time.monotonic() - t0
             results[index] = self._validated(result)
@@ -281,7 +287,9 @@ class PortfolioRunner:
                 except Exception as exc:  # worker died (not a solve error)
                     index = futures[future]
                     result = BackendResult(
-                        None, error="worker failed: {}".format(exc)
+                        None,
+                        facts_safe=False,
+                        error="worker failed: {}".format(exc),
                     )
                     # The worker cannot report its own timing any more;
                     # attribute the wall time since fan-out so the stats

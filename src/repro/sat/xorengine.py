@@ -84,9 +84,9 @@ class XorEngine:
         m = GF2Matrix(len(self.xors), ncols)
         for i, x in enumerate(self.xors):
             for v in x.vars:
-                m.set(i, col_of[v], 1)
+                m.set(i, col_of[v], 1)  # repro: allow[MASK-PATH] XOR blocks are tiny (a few vars per clause); a bulk scatter would not pay here
             if x.rhs:
-                m.set(i, len(var_list), 1)
+                m.set(i, len(var_list), 1)  # repro: allow[MASK-PATH] same tiny per-clause rhs bit as above
         eliminate(m, max_cols=len(var_list))
         new_xors: List[XorClause] = []
         for i in range(m.n_rows):

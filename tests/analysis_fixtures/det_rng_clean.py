@@ -1,0 +1,13 @@
+"""Fixture: DET-RNG conforming — a threaded RNG and monotonic clocks."""
+
+import random
+import time
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def elapsed(t0):
+    return time.monotonic() - t0

@@ -1,0 +1,7 @@
+"""Fixture: DET-RNG suppressed — a justified one-off draw."""
+
+import random
+
+
+def jitter():
+    return random.random()  # repro: allow[DET-RNG] demo-only jitter outside any solve path

@@ -1,0 +1,26 @@
+"""Fixture: DET-RNG violations — global RNG draws, reseeding, wall clocks.
+
+The self-tests analyze this with ``clock_paths`` re-scoped to match the
+fixture path, so the clock checks fire here too.
+"""
+
+import random
+import time
+from datetime import datetime
+from random import randint
+
+
+def draw():
+    return random.random()
+
+
+def reseed():
+    random.seed(42)
+
+
+def stamp():
+    return time.time()
+
+
+def stamp_dt():
+    return datetime.now()

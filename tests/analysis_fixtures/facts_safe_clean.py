@@ -1,0 +1,17 @@
+"""Fixture: FACTS-SAFE conforming — every construction takes an explicit
+position, and equisatisfiable preprocessing carries a downgrade path."""
+
+
+class HonestBackend(SolverBackend):
+    name = "honest"
+
+    def solve(self, formula, **kwargs):
+        return BackendResult(None, facts_safe=False)
+
+
+def preprocess_and_solve(formula):
+    facts_safe = True
+    if formula.used_bve:
+        facts_safe = False
+    simplified = Preprocessor(formula).run()
+    return BackendResult(None, model=simplified, facts_safe=facts_safe)

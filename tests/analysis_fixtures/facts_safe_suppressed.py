@@ -1,0 +1,5 @@
+"""Fixture: FACTS-SAFE suppressed — a justified implicit default."""
+
+
+def legacy_result():
+    return BackendResult(None)  # repro: allow[FACTS-SAFE] legacy shim: the dataclass default (False) is the intended position

@@ -1,0 +1,17 @@
+"""Fixture: FACTS-SAFE violations — implicit default, default-trusting
+backend class, equisatisfiable preprocessing riding facts_safe=True.
+
+Parse-only fixture: the bare names are never resolved.
+"""
+
+
+class QuietBackend(SolverBackend):
+    name = "quiet"
+
+    def solve(self, formula, **kwargs):
+        return BackendResult(None)
+
+
+def preprocess_and_solve(formula):
+    simplified = Preprocessor(formula).run()
+    return BackendResult(True, model=simplified, facts_safe=True)

@@ -1,0 +1,16 @@
+"""Fixture: FORK-SAFETY conforming — primitives created by the functions
+that own them; module state read without a ``global`` write."""
+
+import threading
+
+_STATE = None
+
+
+def noop():
+    return _STATE
+
+
+def run_workers(n):
+    lock = threading.Lock()
+    threads = [threading.Thread(target=noop) for _ in range(n)]
+    return lock, threads

@@ -1,0 +1,10 @@
+"""Fixture: FORK-SAFETY suppressed — the documented initializer shipping point."""
+
+_FN = None
+_ITEMS = ()
+
+
+def init_pool(fn, items):  # repro: allow[FORK-SAFETY] pool initializer: runs once per worker before any item
+    global _FN, _ITEMS
+    _FN = fn
+    _ITEMS = items

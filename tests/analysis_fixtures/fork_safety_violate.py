@@ -1,0 +1,18 @@
+"""Fixture: FORK-SAFETY violations — import-time primitives, a global write.
+
+The self-tests analyze this with ``worker_paths`` re-scoped to match the
+fixture path, so the global-write check fires here too.  Never imported.
+"""
+
+import threading
+from multiprocessing import Queue
+
+LOCK = threading.Lock()
+RESULTS = Queue()
+
+_STATE = None
+
+
+def worker(value):
+    global _STATE
+    _STATE = value

@@ -1,0 +1,20 @@
+"""Fixture: MASK-PATH conforming — bulk constructors; ``set()`` calls
+that are not matrix cell writes (one-argument event signalling, a spot
+write outside any loop) must stay quiet."""
+
+from repro.gf2.matrix import GF2Matrix
+
+
+def build_bulk(n_rows, n_cols, cells):
+    return GF2Matrix.from_cells(n_rows, n_cols, cells)
+
+
+def signal_all(events):
+    for event in events:
+        event.set()
+    return events
+
+
+def single_patch(matrix):
+    matrix.set(0, 0, 1)
+    return matrix

@@ -1,0 +1,7 @@
+"""Fixture: MASK-PATH suppressed — a whole-function waiver on the def line."""
+
+
+def tiny_block(matrix, bits):  # repro: allow[MASK-PATH] blocks are a few bits wide; a bulk scatter would not pay
+    for j in bits:
+        matrix.set(0, j, 1)
+    return matrix

@@ -1,0 +1,11 @@
+"""Fixture: MASK-PATH violations — tuple-oracle use, per-cell producer loop."""
+
+
+def merge(a, b):
+    return tuple_oracle(a, b)
+
+
+def build(matrix, cells):
+    for i, j in cells:
+        matrix.set(i, j, 1)
+    return matrix

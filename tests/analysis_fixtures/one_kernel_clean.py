@@ -1,0 +1,18 @@
+"""Fixture: ONE-KERNEL conforming — kernel entry point, and an XOR
+butterfly that must NOT be mistaken for elimination (same-base
+subscripted ``^=`` but no pivot-hunt machinery)."""
+
+from repro.gf2.elimination import eliminate
+
+
+def reduce_matrix(m):
+    return eliminate(m)
+
+
+def moebius_transform(coeffs, n):
+    for i in range(n):
+        step = 1 << i
+        for mask in range(len(coeffs)):
+            if mask & step:
+                coeffs[mask] ^= coeffs[mask ^ step]
+    return coeffs

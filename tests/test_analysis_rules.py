@@ -1,0 +1,254 @@
+"""Fixture-driven self-tests for the ``repro.analysis`` rule set.
+
+Every rule is demonstrated three ways against the snippets in
+``tests/analysis_fixtures/``: *firing* on a violating fixture, *quiet*
+on a conforming one (including the known near-miss shapes a naive
+checker would false-positive on), and *suppressed* by a justified
+``# repro: allow[...]`` pragma.  The fixtures are analyzed as text —
+they are never imported.
+
+Path-scoped checks (DET-RNG clocks, FORK-SAFETY globals) are re-scoped
+onto the fixture paths through the same per-rule settings overrides the
+production config exposes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    analyze_source,
+    build_rules,
+    validate_report_dict,
+)
+from repro.analysis import fingerprint as fp
+from repro.analysis.__main__ import main as lint_main
+from repro.analysis.rules.oracle_freeze import OracleFreezeRule
+
+ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+#: Re-scope path-guarded checks onto the (path-less) fixture files.
+OVERRIDES = {
+    "DET-RNG": {"clock_paths": [""]},
+    "FORK-SAFETY": {"worker_paths": [""]},
+}
+
+#: (rule id, fixture stem, expected findings on the violating fixture).
+CASES = [
+    ("ONE-KERNEL", "one_kernel", 3),
+    ("MASK-PATH", "mask_path", 2),
+    ("DET-RNG", "det_rng", 5),
+    ("FORK-SAFETY", "fork_safety", 3),
+    ("FACTS-SAFE", "facts_safe", 3),
+]
+
+
+def rules_for(rule_id):
+    config = AnalysisConfig(
+        root=ROOT, rule_ids=[rule_id], rule_settings=OVERRIDES
+    )
+    return build_rules(config)
+
+
+def run_fixture(rule_id, name):
+    path = FIXTURES / (name + ".py")
+    return analyze_source(
+        path.read_text(encoding="utf-8"), path.name, rules_for(rule_id)
+    )
+
+
+@pytest.mark.parametrize("rule_id,stem,n", CASES, ids=[c[0] for c in CASES])
+def test_rule_fires_on_violations(rule_id, stem, n):
+    active, suppressed = run_fixture(rule_id, stem + "_violate")
+    assert [f.rule for f in active] == [rule_id] * n
+    assert suppressed == []
+    for f in active:
+        assert f.line > 0 and f.col > 0
+        assert f.file.endswith("_violate.py")
+        assert f.message
+
+
+@pytest.mark.parametrize("rule_id,stem,n", CASES, ids=[c[0] for c in CASES])
+def test_rule_quiet_on_conforming(rule_id, stem, n):
+    active, suppressed = run_fixture(rule_id, stem + "_clean")
+    assert active == []
+    assert suppressed == []
+
+
+@pytest.mark.parametrize("rule_id,stem,n", CASES, ids=[c[0] for c in CASES])
+def test_rule_suppressed_with_justification(rule_id, stem, n):
+    active, suppressed = run_fixture(rule_id, stem + "_suppressed")
+    assert active == []
+    assert len(suppressed) >= 1
+    for f in suppressed:
+        assert f.rule == rule_id
+        assert f.suppressed
+        assert f.justification  # bare pragmas are a separate finding
+
+
+# -- ORACLE-FREEZE: fingerprint pinning against a temp tree ---------------
+
+ORACLE_SRC = '''\
+def frozen(x):
+    """The frozen oracle."""
+    return (x + 1) * 2
+'''
+
+
+def freeze_rule(tmp_path):
+    return OracleFreezeRule(
+        {
+            "oracles": [("fixture_oracle.py", "frozen")],
+            "fingerprints_path": "pins.json",
+            "root": str(tmp_path),
+        }
+    )
+
+
+def pin_oracle(tmp_path, source):
+    (tmp_path / "src").mkdir(exist_ok=True)
+    (tmp_path / "src" / "fixture_oracle.py").write_text(
+        source, encoding="utf-8"
+    )
+    pins = fp.compute_fingerprints(
+        tmp_path, [("fixture_oracle.py", "frozen")]
+    )
+    fp.write_fingerprints(
+        tmp_path / "pins.json", {k: v for k, v in pins.items() if v}
+    )
+
+
+def analyze_oracle(source, rule):
+    return analyze_source(source, "fixture_oracle.py", [rule])
+
+
+def test_oracle_freeze_quiet_when_pinned(tmp_path):
+    pin_oracle(tmp_path, ORACLE_SRC)
+    active, _ = analyze_oracle(ORACLE_SRC, freeze_rule(tmp_path))
+    assert active == []
+
+
+def test_oracle_freeze_ignores_docstring_and_comment_churn(tmp_path):
+    pin_oracle(tmp_path, ORACLE_SRC)
+    churned = ORACLE_SRC.replace(
+        '"""The frozen oracle."""',
+        '"""Reworded documentation."""  # cosmetic comment',
+    )
+    assert churned != ORACLE_SRC
+    active, _ = analyze_oracle(churned, freeze_rule(tmp_path))
+    assert active == []
+
+
+def test_oracle_freeze_flags_semantic_drift(tmp_path):
+    pin_oracle(tmp_path, ORACLE_SRC)
+    drifted = ORACLE_SRC.replace("(x + 1) * 2", "(x + 2) * 2")
+    active, _ = analyze_oracle(drifted, freeze_rule(tmp_path))
+    assert [f.rule for f in active] == ["ORACLE-FREEZE"]
+    assert "drifted" in active[0].message
+
+
+def test_oracle_freeze_flags_removed_oracle(tmp_path):
+    pin_oracle(tmp_path, ORACLE_SRC)
+    active, _ = analyze_oracle(
+        "def other(x):\n    return x\n", freeze_rule(tmp_path)
+    )
+    assert [f.rule for f in active] == ["ORACLE-FREEZE"]
+    assert "removed or renamed" in active[0].message
+
+
+def test_oracle_freeze_flags_missing_pin(tmp_path):
+    (tmp_path / "src").mkdir(exist_ok=True)
+    fp.write_fingerprints(tmp_path / "pins.json", {})
+    active, _ = analyze_oracle(ORACLE_SRC, freeze_rule(tmp_path))
+    assert [f.rule for f in active] == ["ORACLE-FREEZE"]
+    assert "no pinned fingerprint" in active[0].message
+
+
+def test_oracle_freeze_flags_missing_pin_file(tmp_path):
+    active, _ = analyze_oracle(ORACLE_SRC, freeze_rule(tmp_path))
+    assert [f.rule for f in active] == ["ORACLE-FREEZE"]
+    assert "missing" in active[0].message
+
+
+# -- the CLI gate: a deliberate violation must fail the run ----------------
+
+
+def test_cli_exits_nonzero_on_deliberate_violation(capsys):
+    rc = lint_main(
+        [
+            "--root",
+            str(ROOT),
+            "--rules",
+            "DET-RNG",
+            str(FIXTURES / "det_rng_violate.py"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "DET-RNG" in out
+
+
+def test_cli_exits_zero_on_conforming_file(capsys):
+    rc = lint_main(
+        [
+            "--root",
+            str(ROOT),
+            "--rules",
+            "DET-RNG",
+            str(FIXTURES / "det_rng_clean.py"),
+        ]
+    )
+    assert rc == 0
+
+
+def test_cli_rejects_unknown_rule(capsys):
+    rc = lint_main(["--root", str(ROOT), "--rules", "NO-SUCH-RULE", "src"])
+    assert rc == 2
+
+
+def test_cli_json_format_emits_valid_report(capsys):
+    rc = lint_main(
+        [
+            "--root",
+            str(ROOT),
+            "--rules",
+            "DET-RNG",
+            "--format",
+            "json",
+            str(FIXTURES / "det_rng_violate.py"),
+        ]
+    )
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    validate_report_dict(payload)
+    assert payload["files_scanned"] == 1
+    # Default settings here (no overrides): the path-scoped clock checks
+    # stay quiet, the three global-RNG findings fire.
+    assert [f["rule"] for f in payload["findings"]] == ["DET-RNG"] * 3
+
+
+def test_cli_honours_lint_format_env(capsys, monkeypatch):
+    monkeypatch.setenv("LINT_FORMAT", "json")
+    rc = lint_main(
+        [
+            "--root",
+            str(ROOT),
+            "--rules",
+            "DET-RNG",
+            str(FIXTURES / "det_rng_suppressed.py"),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    validate_report_dict(payload)
+    assert payload["findings"] == []
+    assert [f["rule"] for f in payload["suppressed"]] == ["DET-RNG"]
+
+
+def test_repo_lints_clean():
+    """The acceptance gate itself: main is lint-clean (= `make lint`)."""
+    rc = lint_main(["--root", str(ROOT), str(ROOT / "src"), str(ROOT / "benchmarks")])
+    assert rc == 0

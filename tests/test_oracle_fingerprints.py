@@ -1,0 +1,32 @@
+"""Tier-1 pin check: the frozen differential oracles are verbatim.
+
+The repo's differential guarantees anchor on a handful of oracle
+functions kept at seed semantics (``GF2Matrix.rref_gj``, the scalar
+ANF→CNF converter twins, the scalar linearization codecs,
+``monomial.tuple_oracle``).  ``tests/oracle_fingerprints.json`` pins
+each one's normalized-AST hash; this test recomputes them so any
+semantic edit fails tier-1 even when lint is not run.  A deliberate,
+reviewed oracle change regenerates the pins with
+``PYTHONPATH=src python -m repro.analysis --update-fingerprints``.
+"""
+
+from pathlib import Path
+
+from repro.analysis import fingerprint as fp
+from repro.analysis.config import FINGERPRINTS_PATH, ORACLE_FUNCTIONS
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_every_oracle_is_pinned():
+    pins = fp.load_fingerprints(ROOT / FINGERPRINTS_PATH)
+    expected = {fp.oracle_key(f, q) for f, q in ORACLE_FUNCTIONS}
+    assert set(pins) == expected
+    assert all(value.startswith(fp.HASH_PREFIX) for value in pins.values())
+
+
+def test_oracle_fingerprints_match_pins():
+    pins = fp.load_fingerprints(ROOT / FINGERPRINTS_PATH)
+    actual = fp.compute_fingerprints(ROOT, ORACLE_FUNCTIONS)
+    problems = fp.diff_fingerprints(pins, actual)
+    assert problems == [], "\n".join(problems)

@@ -60,6 +60,22 @@ def test_registry_contains_personalities():
     assert {"minisat", "lingeling", "cms"} <= set(names)
 
 
+def test_conformance_covers_every_registered_backend():
+    # Drift guard: registering a new backend without adding it to the
+    # conformance parameterization must fail loudly here, not silently
+    # ship an untested personality.  A registered name is covered when
+    # it appears as a spec outright or as the base of an "@seed" spec.
+    covered = {spec.split("@", 1)[0] for spec in conformance_specs()}
+    missing = [
+        name for name in registered_backends()
+        if name.split("@", 1)[0] not in covered
+    ]
+    assert missing == [], (
+        "registered backends missing from the conformance suite: "
+        + ", ".join(missing)
+    )
+
+
 def test_create_backend_rejects_garbage():
     with pytest.raises(ValueError):
         create_backend("no-such-backend")
