@@ -46,6 +46,7 @@ class DetRngRule(Rule):
             "repro/cube/",
             "repro/core/",
             "repro/experiments/",
+            "repro/server/",
         ],
     }
 

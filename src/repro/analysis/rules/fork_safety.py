@@ -66,7 +66,7 @@ class ForkSafetyRule(Rule):
     default_settings = {
         #: Path scopes whose functions run in (or ship work to) forked
         #: workers.
-        "worker_paths": ["repro/portfolio/", "repro/cube/"],
+        "worker_paths": ["repro/portfolio/", "repro/cube/", "repro/server/"],
     }
 
     def begin_module(self, ctx: ModuleContext) -> None:

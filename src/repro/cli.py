@@ -85,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--maxiters", type=int, default=None,
                         help="maximum fact-learning iterations")
     parser.add_argument("--seed", type=int, default=0, help="subsampling seed")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent conversion cache directory: "
+                             "minimised Karnaugh covers and whole "
+                             "conversion results are reused across runs "
+                             "(content-addressed, version-stamped)")
     parser.add_argument("--no-xl", action="store_true", help="disable XL")
     parser.add_argument("--no-elimlin", action="store_true", help="disable ElimLin")
     parser.add_argument("--no-sat", action="store_true", help="disable SAT learning")
@@ -100,7 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def config_from_args(args: argparse.Namespace) -> Config:
     """Translate CLI flags into a :class:`Config`."""
-    config = Config(seed=args.seed)
+    config = Config(seed=args.seed, cache_dir=args.cache_dir)
     overrides = {
         "xl_sample_bits": args.samplebits,
         "elimlin_sample_bits": args.samplebits,
@@ -197,7 +202,59 @@ def _final_solve(args, result):
     return verdict, model
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bosphorus-py serve",
+        description="run the solver-as-a-service front end: a JSON-lines "
+                    "job protocol over TCP, sharded over a persistent "
+                    "worker pool with a shared conversion cache",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=2919,
+                        help="TCP port (0 = ephemeral)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: CPU affinity)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent conversion cache directory "
+                             "shared by all workers")
+    return parser
+
+
+def serve_main(argv: List[str]) -> int:
+    """``bosphorus-py serve``: run the solver service until interrupted."""
+    import asyncio
+
+    from .server.app import SolverServer
+
+    args = build_serve_parser().parse_args(argv)
+
+    async def run() -> None:
+        server = SolverServer(
+            host=args.host, port=args.port,
+            jobs=args.jobs, cache_dir=args.cache_dir,
+        )
+        await server.start()
+        print("c serving on {}:{} ({} workers{})".format(
+            server.host, server.port, server.pool.n_workers,
+            ", cache {}".format(args.cache_dir) if args.cache_dir else "",
+        ))
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("c server stopped")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
     bosph = Bosphorus(config)

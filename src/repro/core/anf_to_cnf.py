@@ -75,6 +75,11 @@ class ConversionStats:
     # scalar oracle minimises every chunk from scratch).
     karnaugh_cache_hits: int = 0
     karnaugh_cache_misses: int = 0
+    # Persistent-cache tiers (only with a disk store attached): covers
+    # loaded from disk instead of minimised, and whole conversions
+    # served from disk by canonical system hash.
+    karnaugh_disk_hits: int = 0
+    conversion_disk_hits: int = 0
 
 
 @dataclass
@@ -118,10 +123,33 @@ class AnfToCnf:
     The instance owns the structure-keyed Karnaugh cache, so reusing one
     converter across calls (as the Bosphorus loop does) shares minimised
     covers between iterations.
+
+    With a persistent ``store`` (a :class:`repro.server.cache.CacheStore`,
+    attached explicitly or auto-created from ``config.cache_dir``) the
+    caches gain a disk tier that survives the process: minimised Karnaugh
+    covers spill per shape key, and whole conversion results are keyed by
+    the canonical system hash (:func:`system_fingerprint`), so a repeat
+    conversion skips minimisation entirely and reproduces the exact same
+    formula bit for bit.  The scalar oracle paths never consult the disk
+    — their value is re-deriving everything from scratch.
+    ``use_conversion_cache=False`` keeps the whole-conversion tier off
+    (the Karnaugh tier still spills), which the cache tests use to
+    exercise the per-shape path in isolation.
     """
 
-    def __init__(self, config: Optional[Config] = None):
+    def __init__(
+        self,
+        config: Optional[Config] = None,
+        store=None,
+        use_conversion_cache: bool = True,
+    ):
         self.config = config or Config()
+        if store is None and self.config.cache_dir:
+            from ..server.cache import CacheStore
+
+            store = CacheStore(self.config.cache_dir)
+        self.store = store
+        self.use_conversion_cache = use_conversion_cache
         # shape_key -> minimised cube cover in local-index space.
         self._karnaugh_cache: Dict[tuple, list] = {}
 
@@ -161,13 +189,29 @@ class AnfToCnf:
     def convert_parts(
         self, n_vars, polynomials, state, scalar: bool = False
     ) -> ConversionResult:
+        fingerprint = None
+        if not scalar and self.store is not None and self.use_conversion_cache:
+            fingerprint = system_fingerprint(
+                n_vars, polynomials, state, self.config
+            )
+            cached = self.store.get("conversion", fingerprint)
+            if cached is not None:
+                # The stored stats describe the formula (clause/variable
+                # accounting stays truthful); the work counters are reset
+                # because no minimisation happened on this load.
+                cached.stats.karnaugh_cache_hits = 0
+                cached.stats.karnaugh_cache_misses = 0
+                cached.stats.karnaugh_disk_hits = 0
+                cached.stats.conversion_disk_hits = 1
+                return cached
         formula = CnfFormula(n_vars)
         stats = ConversionStats()
         if scalar:
             ctx = _ScalarContext(n_vars, formula, stats, self.config)
         else:
             ctx = _Context(
-                n_vars, formula, stats, self.config, self._karnaugh_cache
+                n_vars, formula, stats, self.config, self._karnaugh_cache,
+                store=self.store,
             )
 
         if state is not None:
@@ -196,7 +240,7 @@ class AnfToCnf:
                 continue
             ctx.convert_poly(p)
 
-        return ConversionResult(
+        result = ConversionResult(
             formula=formula,
             n_anf_vars=n_vars,
             var_of_monomial=ctx.var_of_monomial,
@@ -204,6 +248,56 @@ class AnfToCnf:
             cut_vars=ctx.cut_vars,
             stats=stats,
         )
+        if fingerprint is not None:
+            self.store.put("conversion", fingerprint, result)
+        return result
+
+
+def system_fingerprint(n_vars, polynomials, state, config: Config) -> tuple:
+    """Canonical hashable identity of one conversion's *inputs*.
+
+    Two calls with equal fingerprints produce bit-for-bit identical CNF,
+    so the fingerprint is the key of the persistent whole-conversion
+    cache.  It covers everything :meth:`AnfToCnf.convert_parts` reads:
+
+    * the variable count and, per polynomial *in list order* (auxiliary
+      numbering depends on it), the sorted monomial-mask multiset plus
+      the constant term (the in-poly emission order is canonicalised by
+      ``convert_poly`` itself, so the multiset is exact);
+    * the variable state's non-trivial entries (fixed values and
+      union-find equivalences with parity);
+    * the conversion parameters K, L and the XOR-clause switch.
+
+    Masks are plain ints at any width, so the key is deterministic
+    across processes and runs.
+    """
+    poly_keys = []
+    for p in polynomials:
+        poly_keys.append((
+            tuple(sorted(mk for mk, _ in p.monomial_masks())),
+            1 if p.has_constant_term() else 0,
+        ))
+    state_key = ()
+    if state is not None:
+        entries = []
+        for v in range(state.n_vars):
+            value = state.value(v)
+            if value is not None:
+                entries.append((v, "=", value))
+                continue
+            root, parity = state.find(v)
+            if root != v:
+                entries.append((v, "~", root, parity))
+        state_key = (state.n_vars, tuple(entries))
+    return (
+        "anf-conversion",
+        n_vars,
+        tuple(poly_keys),
+        state_key,
+        config.karnaugh_limit,
+        config.xor_cut_len,
+        config.emit_xor_clauses,
+    )
 
 
 def _infer_n_vars(polynomials: Sequence[Poly]) -> int:
@@ -237,6 +331,7 @@ class _Context:
         stats: ConversionStats,
         config: Config,
         karnaugh_cache: Dict[tuple, list],
+        store=None,
     ):
         self.next_var = n_vars
         self.formula = formula
@@ -246,6 +341,7 @@ class _Context:
         self.monomial_of_var: Dict[int, Monomial] = {}
         self.cut_vars: Set[int] = set()
         self._karnaugh_cache = karnaugh_cache
+        self._store = store
         # Auxiliary-variable lookup by monomial mask.  Single-variable
         # terms never route through here (``_emit_tseitin`` resolves a
         # single-bit mask to its variable inline), so only degree >= 2
@@ -315,6 +411,16 @@ class _Context:
         key = mono.shape_key((mk for mk, _ in pairs), support_mask, rhs)
         n = key[0]
         cubes = self._karnaugh_cache.get(key)
+        if cubes is not None:
+            self.stats.karnaugh_cache_hits += 1
+        else:
+            if self._store is not None:
+                # Disk tier: a cover minimised by any earlier run (or a
+                # sibling worker) with the same shape.
+                cubes = self._store.get("karnaugh", key)
+                if cubes is not None:
+                    self._karnaugh_cache[key] = cubes
+                    self.stats.karnaugh_disk_hits += 1
         if cubes is None:
             local_masks = key[1]
             if n <= MAX_BATCH_VARS:
@@ -329,8 +435,8 @@ class _Context:
             cubes = minimize(on_set, n)
             self._karnaugh_cache[key] = cubes
             self.stats.karnaugh_cache_misses += 1
-        else:
-            self.stats.karnaugh_cache_hits += 1
+            if self._store is not None:
+                self._store.put("karnaugh", key, cubes)
         support = mono.bits_of(support_mask)
         formula = self.formula
         for cube in cubes:

@@ -136,8 +136,11 @@ class Bosphorus:
         # Run-wide Karnaugh-cache accounting: the shared converter is
         # invoked once per use_sat iteration plus once for the final
         # CNF, and each conversion carries fresh counters — sum them so
-        # the reported numbers reflect the whole run.
+        # the reported numbers reflect the whole run.  Disk-tier hits
+        # (persistent cache, when config.cache_dir is set) are summed
+        # separately.
         cache_hits = cache_misses = 0
+        disk_hits = conversion_disk_hits = 0
         # Snapshot the monomial-layer fallback counter: the whole run —
         # propagation, XL/ElimLin, probing, conversion — must stay on the
         # width-adaptive mask path, and the delta is reported so tests
@@ -200,6 +203,10 @@ class Bosphorus:
                         cache_misses += (
                             sat_res.conversion.stats.karnaugh_cache_misses
                         )
+                        disk_hits += sat_res.conversion.stats.karnaugh_disk_hits
+                        conversion_disk_hits += (
+                            sat_res.conversion.stats.conversion_disk_hits
+                        )
                     if sat_res.status is UNSAT:
                         raise ContradictionError("SAT solver proved UNSAT")
                     added = self._absorb(system, facts, sat_res.facts, SOURCE_SAT)
@@ -244,6 +251,10 @@ class Bosphorus:
                 + conversion.stats.karnaugh_cache_hits,
                 "karnaugh_cache_misses": cache_misses
                 + conversion.stats.karnaugh_cache_misses,
+                "karnaugh_disk_hits": disk_hits
+                + conversion.stats.karnaugh_disk_hits,
+                "conversion_disk_hits": conversion_disk_hits
+                + conversion.stats.conversion_disk_hits,
             },
         )
 
@@ -319,6 +330,14 @@ class Bosphorus:
             result.stats["karnaugh_cache_misses"] = (
                 result.stats.get("karnaugh_cache_misses", 0)
                 + conv.stats.karnaugh_cache_misses
+            )
+            result.stats["karnaugh_disk_hits"] = (
+                result.stats.get("karnaugh_disk_hits", 0)
+                + conv.stats.karnaugh_disk_hits
+            )
+            result.stats["conversion_disk_hits"] = (
+                result.stats.get("conversion_disk_hits", 0)
+                + conv.stats.conversion_disk_hits
             )
             for clause in conv.formula.clauses:
                 augmented.add_clause(clause)

@@ -66,6 +66,12 @@ class Config:
     xl_max_cols: int = 6000
     # RNG seed for the subsampling steps (replicability).
     seed: int = 0
+    # Persistent conversion cache (repro.server.cache): when set,
+    # converters spill minimised Karnaugh covers and whole conversion
+    # results to this directory and load them back on later runs —
+    # entries are content-addressed, version-stamped, and corrupt/stale
+    # entries degrade to misses.  None keeps the caches in-memory only.
+    cache_dir: Optional[str] = None
     # Portfolio mode for the inner SAT step (repro.portfolio): instead of
     # one in-process solver, race the named backends under the same
     # conflict budget; the first *validated* verdict wins and learnt

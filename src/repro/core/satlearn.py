@@ -26,8 +26,15 @@ from ..anf.system import AnfSystem
 from ..sat.solver import SAT, UNKNOWN, UNSAT, Solver, SolverConfig
 from ..sat.types import TRUE, UNDEF, lit_neg, lit_sign, lit_var
 from ..sat.xorengine import XorEngine
-from .anf_to_cnf import AnfToCnf, ConversionResult
+from .anf_to_cnf import AnfToCnf, ConversionResult, system_fingerprint
 from .config import Config
+
+__all__ = [
+    "SatLearnResult",
+    "run_sat",
+    "extract_facts",
+    "system_fingerprint",
+]
 
 
 @dataclass
@@ -230,6 +237,13 @@ def run_sat(
     ``emit_xor_clauses``) are the ones used — ``config`` then only
     governs the conflict budget and fact harvesting, so build the
     converter from the same config unless you mean them to differ.
+
+    With ``config.cache_dir`` set (or a converter carrying a store) the
+    conversion is keyed by the canonical system hash
+    (:func:`system_fingerprint`): a system already converted by any
+    earlier run — this process or a previous one — loads from disk with
+    bit-for-bit identical CNF, reported via
+    ``result.conversion.stats.conversion_disk_hits``.
     """
     config = config or Config()
     budget = conflict_budget if conflict_budget is not None else config.sat_conflict_start

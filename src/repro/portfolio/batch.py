@@ -17,7 +17,13 @@ Failure isolation: an item whose function raises does not abort the
 batch.  The exception is captured into a :class:`BatchItemError` result
 in that item's slot, and every sibling item still runs and reports — one
 pathological instance (or cube) can no longer kill a whole
-``run_family``/cube run.
+``run_family``/cube run.  The same promise holds for *hard* worker
+deaths (segfault / OOM-kill / ``os._exit`` in a native solver): a dead
+worker breaks its ``ProcessPoolExecutor``, so the scheduler respawns the
+pool and re-runs the items that never started, while the item whose
+worker actually died keeps a ``"worker-died"`` :class:`BatchItemError`
+(a shared started-flags array distinguishes the two; ambiguous
+casualties are retried a bounded number of times).
 
 Early exit: ``map(..., cancel=evt, stop_when=pred)`` gives consumers a
 first-win protocol.  ``cancel`` is a multiprocessing event shipped to the
@@ -32,19 +38,53 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: How many times an ambiguous broken-pool casualty (an item that had
+#: started when the pool died, alongside other started items) is retried
+#: before it is written off as ``"worker-died"``.
+MAX_ITEM_ATTEMPTS = 2
+
 
 def mp_context():
-    """The package-wide multiprocessing context: fork-preferred (cheap
-    workers, inheritance-based work shipping), default elsewhere."""
+    """The package-wide multiprocessing context.
+
+    Fork-preferred (cheap workers, inheritance-based work shipping) —
+    but forking a multi-threaded parent is undefined behaviour waiting
+    to happen (the child inherits locks mid-acquisition), and the async
+    job server's parent *always* holds threads.  So:
+
+    * ``REPRO_MP_START`` overrides everything (``fork`` / ``forkserver``
+      / ``spawn``);
+    * with threads active (``threading.active_count() > 1``) the context
+      prefers ``forkserver`` — workers then fork from a clean
+      single-threaded template process, at the cost of pickling the pool
+      initargs;
+    * the single-threaded batch path keeps plain ``fork``, so the
+      determinism tests and the inheritance-based work shipping are
+      unchanged.
+    """
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    override = os.environ.get("REPRO_MP_START")
+    if override:
+        if override not in methods:
+            raise ValueError(
+                "REPRO_MP_START={!r} is not available here "
+                "(choices: {})".format(override, ", ".join(methods))
+            )
+        return multiprocessing.get_context(override)
+    if "fork" in methods:
+        if threading.active_count() > 1 and "forkserver" in methods:
+            return multiprocessing.get_context("forkserver")
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
 
 
 @dataclass
@@ -66,13 +106,15 @@ class BatchItemError:
 _BATCH_FN = None
 _BATCH_ITEMS: Sequence = ()
 _BATCH_CANCEL = None
+_BATCH_STARTED = None
 
 
-def _init_batch(fn, items, cancel) -> None:  # repro: allow[FORK-SAFETY] the documented fork-inheritance shipping point: runs once per worker in the pool initializer, before any item
-    global _BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL
+def _init_batch(fn, items, cancel, started=None) -> None:  # repro: allow[FORK-SAFETY] the documented fork-inheritance shipping point: runs once per worker in the pool initializer, before any item
+    global _BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL, _BATCH_STARTED
     _BATCH_FN = fn
     _BATCH_ITEMS = items
     _BATCH_CANCEL = cancel
+    _BATCH_STARTED = started
 
 
 def batch_cancel():
@@ -85,7 +127,11 @@ def batch_cancel():
 def _run_batch_item(index: int):
     # Exceptions are captured here, in the worker, so a raising item
     # neither poisons the future (losing its siblings' results) nor
-    # breaks the pool.
+    # breaks the pool.  The started flag is raised first: if this worker
+    # hard-dies (segfault, os._exit) the parent can tell this item from
+    # siblings that were still queued.
+    if _BATCH_STARTED is not None:
+        _BATCH_STARTED[index] = 1
     try:
         return _BATCH_FN(_BATCH_ITEMS[index])
     except Exception as exc:
@@ -93,8 +139,18 @@ def _run_batch_item(index: int):
 
 
 def default_jobs() -> int:
-    """Worker count when the caller does not choose: one per CPU."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count when the caller does not choose: one per *available*
+    CPU.
+
+    ``os.cpu_count()`` reports the machine; under a cgroup quota or
+    ``taskset`` mask (the containerised deployments the job server
+    targets) the scheduler affinity is the real allowance, so it wins
+    when the platform exposes it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 
 class BatchScheduler:
@@ -129,33 +185,102 @@ class BatchScheduler:
             return self._map_sequential(fn, items, cancel, stop_when)
         ctx = mp_context()
         results: List = [None] * len(items)
+        attempts = [0] * len(items)
+        pending = list(range(len(items)))
+        stalled_rounds = 0
+        while pending:
+            # The started-flags array is fresh per pool: a hard worker
+            # death (segfault / os._exit) breaks the whole executor and
+            # poisons every pending future, so flags are the only way to
+            # tell the item that killed its worker from siblings that
+            # never ran.
+            started = ctx.Array("b", len(items), lock=False)
+            broken = self._map_round(
+                ctx, fn, items, pending, started, results, cancel, stop_when
+            )
+            if not broken:
+                break
+            unfinished = [i for i in pending if results[i] is None]
+            suspects = [i for i in unfinished if started[i]]
+            for i in suspects:
+                attempts[i] += 1
+            if len(suspects) == 1:
+                # Exactly one item was running when the pool died: that
+                # is the casualty.  Everything else re-runs.
+                i = suspects[0]
+                results[i] = BatchItemError(
+                    i, "worker-died", "worker process died running item"
+                )
+            else:
+                # Several items were in flight (the killer is one of
+                # them; the others were collateral of the pool
+                # teardown).  Retry each a bounded number of times — the
+                # genuine killer dies again and runs out of attempts.
+                for i in suspects:
+                    if attempts[i] >= MAX_ITEM_ATTEMPTS:
+                        results[i] = BatchItemError(
+                            i,
+                            "worker-died",
+                            "worker process died running item "
+                            "({} attempts)".format(attempts[i]),
+                        )
+            pending = [i for i in unfinished if results[i] is None]
+            if pending and not suspects and len(pending) == len(unfinished):
+                # The pool broke before any pending item even started
+                # (e.g. workers dying at fork): no flag to pin it on, no
+                # progress to show.  One more try, then give up rather
+                # than respawn forever.
+                stalled_rounds += 1
+                if stalled_rounds >= 2:
+                    for i in pending:
+                        results[i] = BatchItemError(
+                            i,
+                            "worker-died",
+                            "pool repeatedly broke before items started",
+                        )
+                    pending = []
+            else:
+                stalled_rounds = 0
+        return results
+
+    def _map_round(
+        self, ctx, fn, items, pending, started, results, cancel, stop_when
+    ) -> bool:
+        """One executor lifetime over ``pending``; True if the pool broke.
+
+        Items that complete (including captured per-item exceptions)
+        land in ``results``; a :class:`BrokenProcessPool` poisons every
+        not-yet-collected future, so those slots are left ``None`` for
+        the caller to arbitrate via the started flags.
+        """
+        broken = False
         with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(items)),
+            max_workers=min(self.jobs, len(pending)),
             mp_context=ctx,
             initializer=_init_batch,
-            initargs=(fn, items, cancel),
+            initargs=(fn, items, cancel, started),
         ) as executor:
-            futures = {
-                executor.submit(_run_batch_item, i): i
-                for i in range(len(items))
-            }
+            futures = {executor.submit(_run_batch_item, i): i for i in pending}
             for future in as_completed(futures):
                 index = futures[future]
                 try:
                     result = future.result()
-                except Exception as exc:  # the worker process died
+                except BrokenProcessPool:
+                    broken = True
+                    continue
+                except Exception as exc:  # per-future failure (pool intact)
                     result = BatchItemError(
                         index, "worker-died", "worker failed: {}".format(exc)
                     )
                 results[index] = result
                 self._maybe_stop(result, cancel, stop_when)
-        return results
+        return broken
 
     def _map_sequential(self, fn, items, cancel, stop_when) -> List:
         # Install the worker-side globals in-process too, so item
         # functions reach the cancel event through batch_cancel() on
         # both paths.
-        saved = (_BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL)
+        saved = (_BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL, _BATCH_STARTED)
         _init_batch(fn, items, cancel)
         try:
             results: List = []

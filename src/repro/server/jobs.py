@@ -1,0 +1,243 @@
+"""What one server job *is*: parse → preprocess → solve, as plain data.
+
+A :class:`JobSpec` is the picklable description a client submits over
+the protocol and the pool ships to a worker; :func:`execute_job` is the
+worker-side pipeline.  It deliberately contains **no solving logic of
+its own** — parsing is :mod:`repro.anf` / :mod:`repro.sat.dimacs`,
+preprocessing is :class:`repro.core.bosphorus.Bosphorus` (which picks up
+the persistent conversion cache through ``Config.cache_dir``), and the
+final solve goes through :func:`repro.portfolio.create_backend`.  Server
+workers are backends-only: there is ONE solving path, and the service
+merely schedules it.
+
+Cancellation and deadlines ride the cooperative conflict-slice cancel:
+``cancel`` is any object with ``is_set()`` (the pool passes its
+shared-flag token), checked between pipeline stages here and every
+``SLICE_CONFLICTS`` conflicts inside the backend solve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import time
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, Optional
+
+from ..anf.system import ContradictionError
+from ..core.config import Config
+from ..sat.dimacs import CnfFormula, parse_dimacs, write_dimacs
+
+#: Accepted ``JobSpec.fmt`` values.
+FORMATS = ("anf", "dimacs")
+
+#: Verdict strings reported by :func:`execute_job`.
+VERDICT_SAT = "sat"
+VERDICT_UNSAT = "unsat"
+VERDICT_UNKNOWN = "unknown"
+VERDICT_CANCELLED = "cancelled"
+
+
+@dataclass
+class JobSpec:
+    """One solving job, as submitted by a client.
+
+    ``fmt`` names the payload format (``"anf"`` text or ``"dimacs"``
+    CNF); ``text`` is the problem itself.  ``preprocess`` runs the
+    Bosphorus fact-learning loop first (the service's reason to exist);
+    with it off the input is converted/parsed and handed straight to the
+    backend.  ``backend`` is a :func:`repro.portfolio.create_backend`
+    spec.  ``conflict_budget`` bounds the final solve; ``timeout_s`` is
+    the per-job deadline, measured from the moment a worker *starts* the
+    job (queue time does not count).  ``config`` carries
+    :class:`repro.core.config.Config` field overrides (e.g.
+    ``{"max_iterations": 3}``); unknown fields are rejected.
+    """
+
+    job_id: int = 0
+    fmt: str = "anf"
+    text: str = ""
+    preprocess: bool = True
+    solve: bool = True
+    backend: str = "minisat"
+    conflict_budget: Optional[int] = None
+    timeout_s: Optional[float] = None
+    config: Dict[str, object] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.fmt not in FORMATS:
+            raise ValueError(
+                "unknown job format {!r} (choices: {})".format(
+                    self.fmt, ", ".join(FORMATS)
+                )
+            )
+        if not self.text.strip():
+            raise ValueError("empty problem text")
+        known = {f.name for f in dataclass_fields(Config)}
+        unknown = sorted(set(self.config) - known)
+        if unknown:
+            raise ValueError(
+                "unknown config overrides: " + ", ".join(unknown)
+            )
+        if "cache_dir" in self.config:
+            # The cache directory is service policy, not client input —
+            # a client must not point workers at arbitrary paths.
+            raise ValueError("config override 'cache_dir' is reserved")
+
+
+def _sha256_dimacs(formula: CnfFormula) -> str:
+    buf = io.StringIO()
+    write_dimacs(buf, formula)
+    return hashlib.sha256(buf.getvalue().encode("ascii")).hexdigest()
+
+
+def _status_to_verdict(status: Optional[bool], cancel) -> str:
+    if status is True:
+        return VERDICT_SAT
+    if status is False:
+        return VERDICT_UNSAT
+    if cancel is not None and cancel.is_set():
+        return VERDICT_CANCELLED
+    return VERDICT_UNKNOWN
+
+
+def execute_job(
+    spec: JobSpec,
+    cache_dir: Optional[str] = None,
+    cancel=None,
+    progress=None,
+) -> Dict[str, object]:
+    """Run one job to completion and return its JSON-serialisable result.
+
+    ``progress`` (if given) is called as ``progress(stage, payload)``
+    with stages ``"parsed"``, ``"preprocessed"`` and ``"solving"``;
+    payloads are small JSON-safe dicts.  ``cancel`` is polled between
+    stages and threaded into the backend solve, so a cancelled job stops
+    within one conflict slice of the signal.
+
+    The result dict always carries ``job_id``, ``verdict`` (one of
+    ``sat`` / ``unsat`` / ``unknown`` / ``cancelled``), ``model``,
+    ``stats`` and — whenever a CNF was produced — ``cnf_sha256``, the
+    hash of the exact DIMACS a fresh run must reproduce bit-for-bit
+    (warm persistent-cache restarts are asserted against it).
+    """
+    spec.validate()
+    started = time.perf_counter()
+
+    def emit(stage: str, payload: Optional[Dict[str, object]] = None) -> None:
+        if progress is not None:
+            progress(stage, payload or {})
+
+    def finish(verdict, model=None, stats=None, formula=None, extra=None):
+        result: Dict[str, object] = {
+            "job_id": spec.job_id,
+            "verdict": verdict,
+            "model": model,
+            "stats": stats or {},
+            "seconds": time.perf_counter() - started,
+        }
+        if formula is not None:
+            result["cnf_sha256"] = _sha256_dimacs(formula)
+            result["n_vars"] = formula.n_vars
+            result["n_clauses"] = len(formula.clauses)
+        if extra:
+            result.update(extra)
+        return result
+
+    def cancelled() -> bool:
+        return cancel is not None and cancel.is_set()
+
+    try:
+        config = Config(cache_dir=cache_dir).with_(**spec.config)
+    except TypeError as exc:  # pragma: no cover - validate() catches first
+        raise ValueError(str(exc))
+
+    # -- parse ---------------------------------------------------------------
+    if spec.fmt == "anf":
+        from ..anf import parse_system
+
+        ring, polynomials = parse_system(spec.text)
+        emit("parsed", {"fmt": "anf", "n_vars": ring.n_vars,
+                        "n_polys": len(polynomials)})
+    else:
+        formula = parse_dimacs(spec.text)
+        emit("parsed", {"fmt": "dimacs", "n_vars": formula.n_vars,
+                        "n_clauses": len(formula.clauses)})
+    if cancelled():
+        return finish(VERDICT_CANCELLED)
+
+    # -- preprocess ----------------------------------------------------------
+    pre_stats: Dict[str, object] = {}
+    solution_values = None
+    if spec.preprocess:
+        from ..core.bosphorus import Bosphorus, STATUS_SAT, STATUS_UNSAT
+
+        bosph = Bosphorus(config)
+        if spec.fmt == "anf":
+            pre = bosph.preprocess_anf(ring, polynomials)
+        else:
+            pre = bosph.preprocess_cnf(formula)
+        cnf = pre.cnf
+        pre_stats = dict(pre.stats)
+        pre_stats["iterations"] = pre.iterations
+        pre_stats["facts"] = pre.facts.summary()
+        emit("preprocessed", {
+            "iterations": pre.iterations,
+            "status": pre.status,
+            "conversion_disk_hits": pre_stats.get("conversion_disk_hits", 0),
+            "karnaugh_disk_hits": pre_stats.get("karnaugh_disk_hits", 0),
+        })
+        if pre.status == STATUS_UNSAT:
+            return finish(VERDICT_UNSAT, stats=pre_stats, formula=cnf)
+        if pre.status == STATUS_SAT and pre.solution is not None:
+            solution_values = list(pre.solution.values)
+            return finish(VERDICT_SAT, model=solution_values,
+                          stats=pre_stats, formula=cnf)
+    elif spec.fmt == "anf":
+        from ..anf import AnfSystem
+        from ..core.anf_to_cnf import AnfToCnf
+
+        try:
+            system = AnfSystem(ring, polynomials)
+        except ContradictionError:
+            return finish(VERDICT_UNSAT)
+        conversion = AnfToCnf(config).convert(system)
+        cnf = conversion.formula
+        pre_stats = {
+            "karnaugh_disk_hits": conversion.stats.karnaugh_disk_hits,
+            "conversion_disk_hits": conversion.stats.conversion_disk_hits,
+        }
+    else:
+        cnf = formula
+    if cancelled():
+        return finish(VERDICT_CANCELLED, stats=pre_stats, formula=cnf)
+
+    if not spec.solve or cnf is None:
+        return finish(VERDICT_UNKNOWN, stats=pre_stats, formula=cnf)
+
+    # -- solve ---------------------------------------------------------------
+    from ..portfolio import create_backend
+
+    backend = create_backend(spec.backend)
+    if not backend.available():
+        raise RuntimeError("backend unavailable: {}".format(backend.name))
+    emit("solving", {"backend": backend.name,
+                     "n_vars": cnf.n_vars, "n_clauses": len(cnf.clauses)})
+    # The per-job deadline covers the whole pipeline: whatever the parse
+    # and preprocess stages consumed is subtracted from the solve budget.
+    remaining = None
+    if spec.timeout_s is not None:
+        remaining = max(0.0, spec.timeout_s - (time.perf_counter() - started))
+    res = backend.solve(
+        cnf,
+        timeout_s=remaining,
+        conflict_budget=spec.conflict_budget,
+        cancel=cancel,
+    )
+    verdict = _status_to_verdict(res.status, cancel)
+    if res.cancelled:
+        verdict = VERDICT_CANCELLED
+    stats = dict(pre_stats)
+    stats["conflicts"] = res.conflicts
+    stats["backend"] = backend.name
+    return finish(verdict, model=res.model, stats=stats, formula=cnf)

@@ -4,6 +4,10 @@ run (scored under the deterministic unit-time proxy, since wall-clock
 seconds are the one thing parallelism legitimately changes).
 """
 
+import multiprocessing
+import os
+import threading
+
 import pytest
 
 from repro.core.config import Config
@@ -137,6 +141,96 @@ def test_run_family_empty_problem_list_keeps_grid_keys():
     out = run_family([], ("minisat", "cms"), timeout_s=1.0, jobs=1)
     assert set(out) == {(p, b) for p in ("minisat", "cms") for b in (False, True)}
     assert all(runs == [] for runs in out.values())
+
+
+# -- hard worker death ------------------------------------------------------
+
+
+def _exit_on_zero(x):
+    if x == 0:
+        os._exit(1)  # simulate an OOM-kill / hard crash mid-item
+    return x * 10
+
+
+def test_map_isolates_hard_worker_death():
+    # Regression: a worker dying mid-item (os._exit, OOM-kill) used to
+    # poison the whole pool — BrokenProcessPool failed every pending
+    # future, so healthy siblings came back as BatchItemErrors too.  Now
+    # the pool is respawned, not-yet-started items re-run, and only the
+    # genuinely dead item keeps its error.
+    results = BatchScheduler(2).map(_exit_on_zero, range(6))
+    assert len(results) == 6
+    err = results[0]
+    assert isinstance(err, BatchItemError)
+    assert err.index == 0
+    assert err.kind == "worker-died"
+    for x in range(1, 6):
+        assert results[x] == x * 10, results
+
+
+def test_map_sequential_path_unaffected_by_death_machinery():
+    # jobs=1 never forks: the poison item would kill the test process
+    # itself, so only check the plain path still threads results through.
+    assert BatchScheduler(1).map(_square, range(5)) == [
+        x * x for x in range(5)
+    ]
+
+
+# -- default_jobs / mp_context ----------------------------------------------
+
+
+def test_default_jobs_uses_affinity_mask(monkeypatch):
+    # A 2-CPU cgroup quota on a 64-core host must size the pool at 2:
+    # sched_getaffinity reflects the quota, cpu_count does not.
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 3}, raising=False)
+    assert default_jobs() == 2
+
+
+def test_default_jobs_falls_back_to_cpu_count(monkeypatch):
+    def unavailable(pid):
+        raise OSError("not supported here")
+
+    monkeypatch.setattr(os, "sched_getaffinity", unavailable, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 5)
+    assert default_jobs() == 5
+
+
+def test_default_jobs_never_below_one(monkeypatch):
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(), raising=False)
+    assert default_jobs() >= 1
+
+
+def test_mp_context_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_MP_START", "spawn")
+    assert mp_context().get_start_method() == "spawn"
+
+
+def test_mp_context_rejects_unknown_override(monkeypatch):
+    monkeypatch.setenv("REPRO_MP_START", "warpdrive")
+    with pytest.raises(ValueError, match="warpdrive"):
+        mp_context()
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods()
+    or "forkserver" not in multiprocessing.get_all_start_methods(),
+    reason="needs both fork and forkserver",
+)
+def test_mp_context_prefers_forkserver_when_threaded(monkeypatch):
+    monkeypatch.delenv("REPRO_MP_START", raising=False)
+    # Single-threaded parent: fork stays the default (the determinism
+    # tests rely on fork-inherited state shipping).
+    assert mp_context().get_start_method() == "fork"
+    # With live threads, fork risks inheriting locks mid-acquisition;
+    # the context switches to forkserver.
+    stop = threading.Event()
+    t = threading.Thread(target=stop.wait, daemon=True)
+    t.start()
+    try:
+        assert mp_context().get_start_method() == "forkserver"
+    finally:
+        stop.set()
+        t.join()
 
 
 # -- parallel Table II ------------------------------------------------------

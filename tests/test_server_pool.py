@@ -1,0 +1,203 @@
+"""The persistent worker pool: submission, cancellation, deadlines, and
+death isolation.
+
+The pool generalises the batch scheduler's fork-shipped one-shot pools
+to a long-lived service pool, so the invariants under test mirror the
+batch layer's: a worker dying mid-job fails *that job only* and the slot
+respawns; cancellation is cooperative and lands within one conflict
+slice; deadlines are per-job and start when the job does.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+import repro.server.pool as pool_mod
+from repro.server.jobs import JobSpec, execute_job
+from repro.server.pool import WorkerPool
+
+EASY = "p cnf 1 1\n1 0\n"
+UNSAT = "p cnf 1 2\n1 0\n-1 0\n"
+
+
+def _hard_instance(n=200, ratio=4.26, seed=7):
+    """Random 3-SAT near the phase transition: enough search to keep a
+    worker busy for seconds, so cancellation can land mid-solve."""
+    rng = random.Random(seed)
+    m = int(n * ratio)
+    lines = ["p cnf {} {}".format(n, m)]
+    for _ in range(m):
+        vs = rng.sample(range(1, n + 1), 3)
+        lines.append(
+            " ".join(str(v if rng.random() < 0.5 else -v) for v in vs) + " 0"
+        )
+    return "\n".join(lines) + "\n"
+
+
+HARD = _hard_instance()
+
+
+def test_submit_wait_round_trip():
+    with WorkerPool(jobs=1) as pool:
+        sat = pool.submit(JobSpec(fmt="dimacs", text=EASY, preprocess=False))
+        unsat = pool.submit(JobSpec(fmt="dimacs", text=UNSAT, preprocess=False))
+        assert pool.wait(sat, timeout=60)["verdict"] == "sat"
+        assert pool.wait(unsat, timeout=60)["verdict"] == "unsat"
+        stats = pool.stats()
+        assert stats["completed"] == 2
+        assert stats["failed"] == 0
+
+
+def test_event_stream_order():
+    events = []
+    with WorkerPool(jobs=1) as pool:
+        job = pool.submit(
+            JobSpec(fmt="dimacs", text=EASY, preprocess=False),
+            on_event=lambda kind, payload: events.append((kind, payload)),
+        )
+        result = pool.wait(job, timeout=60)
+    kinds = [k for k, _ in events]
+    assert kinds[-1] == "result"
+    assert set(kinds[:-1]) == {"progress"}
+    assert events[-1][1] == result
+
+
+def test_anf_job_with_shared_cache(tmp_path):
+    anf = "x0*x1 + x2 + 1\nx1*x2 + x0\nx0 + x1 + x2 + 1\n"
+    with WorkerPool(jobs=1, cache_dir=str(tmp_path)) as pool:
+        cold = pool.wait(pool.submit(JobSpec(fmt="anf", text=anf)), timeout=120)
+        warm = pool.wait(pool.submit(JobSpec(fmt="anf", text=anf)), timeout=120)
+    assert cold["verdict"] == warm["verdict"] == "sat"
+    assert warm["stats"]["conversion_disk_hits"] > 0
+    assert warm["cnf_sha256"] == cold["cnf_sha256"]
+
+
+def test_running_job_cancel_lands_within_a_slice():
+    with WorkerPool(jobs=1) as pool:
+        job = pool.submit(JobSpec(fmt="dimacs", text=HARD, preprocess=False))
+        time.sleep(0.4)  # let the solve get going
+        assert pool.cancel(job)
+        t0 = time.monotonic()
+        result = pool.wait(job, timeout=30)
+        elapsed = time.monotonic() - t0
+    assert result["verdict"] == "cancelled"
+    # One conflict slice is 500 conflicts — far under a second on this
+    # instance; 5s is a generous bound that still proves cooperativity.
+    assert elapsed < 5.0
+
+
+def test_queued_job_cancel_resolves_immediately():
+    with WorkerPool(jobs=1) as pool:
+        running = pool.submit(JobSpec(fmt="dimacs", text=HARD, preprocess=False))
+        queued = pool.submit(JobSpec(fmt="dimacs", text=EASY, preprocess=False))
+        assert pool.cancel(queued)
+        result = pool.wait(queued, timeout=5)
+        assert result["verdict"] == "cancelled"
+        pool.cancel(running)
+        pool.wait(running, timeout=30)
+
+
+def test_cancel_unknown_or_finished_job_is_false():
+    with WorkerPool(jobs=1) as pool:
+        job = pool.submit(JobSpec(fmt="dimacs", text=EASY, preprocess=False))
+        pool.wait(job, timeout=60)
+        assert pool.cancel(job) is False
+        assert pool.cancel(999) is False
+
+
+def test_deadline_reports_timeout_verdict():
+    with WorkerPool(jobs=1) as pool:
+        job = pool.submit(
+            JobSpec(fmt="dimacs", text=HARD, preprocess=False, timeout_s=0.3)
+        )
+        result = pool.wait(job, timeout=30)
+    assert result["verdict"] in ("timeout", "sat", "unsat")
+    # On this instance 0.3s is far from enough; accept a verdict only if
+    # the solver genuinely beat the clock (never seen, but not illegal).
+    assert result["verdict"] == "timeout"
+
+
+def test_job_exception_is_isolated():
+    with WorkerPool(jobs=1) as pool:
+        bad = pool.submit(JobSpec(fmt="dimacs", text="p cnf not-a-header"))
+        good = pool.submit(JobSpec(fmt="dimacs", text=EASY, preprocess=False))
+        bad_result = pool.wait(bad, timeout=60)
+        good_result = pool.wait(good, timeout=60)
+    assert bad_result["verdict"] == "error"
+    assert "error" in bad_result
+    assert good_result["verdict"] == "sat"
+
+
+def test_spec_validation_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        JobSpec(fmt="cnf", text=EASY).validate()
+    with pytest.raises(ValueError):
+        JobSpec(fmt="dimacs", text="   ").validate()
+    with pytest.raises(ValueError):
+        JobSpec(fmt="dimacs", text=EASY, config={"nope": 1}).validate()
+    with pytest.raises(ValueError):
+        JobSpec(fmt="dimacs", text=EASY, config={"cache_dir": "/x"}).validate()
+
+
+# -- death isolation ---------------------------------------------------------
+
+
+def _exploding_execute_job(spec, cache_dir=None, cancel=None, progress=None):
+    if spec.text.startswith("c BOOM"):
+        os._exit(1)  # hard crash mid-job, as an OOM-kill would
+    return execute_job(
+        spec, cache_dir=cache_dir, cancel=cancel, progress=progress
+    )
+
+
+def test_worker_death_mid_job_fails_only_that_job(monkeypatch):
+    # fork start method so the monkeypatched execute_job is inherited.
+    monkeypatch.setattr(pool_mod, "execute_job", _exploding_execute_job)
+    with WorkerPool(jobs=2, start_method="fork") as pool:
+        boom = pool.submit(
+            JobSpec(fmt="dimacs", text="c BOOM\n" + EASY, preprocess=False)
+        )
+        good = [
+            pool.submit(JobSpec(fmt="dimacs", text=EASY, preprocess=False))
+            for _ in range(4)
+        ]
+        boom_result = pool.wait(boom, timeout=60)
+        assert boom_result["verdict"] == "error"
+        assert "worker-died" in boom_result["error"]
+        for job in good:
+            assert pool.wait(job, timeout=60)["verdict"] == "sat"
+        stats = pool.stats()
+        assert stats["respawns"] >= 1
+        assert stats["alive"] == 2
+        assert stats["failed"] == 1
+
+
+def test_idle_worker_death_respawns_cleanly():
+    # A worker killed while *blocked on its queue* dies holding that
+    # queue's read lock; the per-worker-queue design discards the queue
+    # with the worker, so the respawned slot must keep serving.
+    with WorkerPool(jobs=1, start_method="fork") as pool:
+        first = pool.wait(
+            pool.submit(JobSpec(fmt="dimacs", text=EASY, preprocess=False)),
+            timeout=60,
+        )
+        assert first["verdict"] == "sat"
+        pool._workers[0].terminate()
+        deadline = time.monotonic() + 10
+        while pool.stats()["respawns"] == 0:
+            assert time.monotonic() < deadline, "watchdog never respawned"
+            time.sleep(0.05)
+        second = pool.wait(
+            pool.submit(JobSpec(fmt="dimacs", text=EASY, preprocess=False)),
+            timeout=60,
+        )
+        assert second["verdict"] == "sat"
+
+
+def test_pool_rejects_submit_after_close():
+    pool = WorkerPool(jobs=1)
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.submit(JobSpec(fmt="dimacs", text=EASY, preprocess=False))
