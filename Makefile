@@ -3,7 +3,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast lint bench bench-smoke bench-gf2 bench-elimlin bench-cnf bench-portfolio bench-cube bench-server
+.PHONY: test test-fast lint bench bench-smoke bench-gf2 bench-elimlin bench-cnf bench-portfolio bench-cube bench-server bench-obs
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -84,4 +84,14 @@ bench-server:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest tests/test_server_cache.py \
 		tests/test_server_pool.py tests/test_server_e2e.py -q
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_server.py \
+		-q --benchmark-only
+
+# The observability claim: tracer/metrics unit + fork-boundary tests,
+# then the overhead pin — the always-on instrumentation costs < 2% of
+# the Simon satlearn loop when tracing is off (ratio armed with
+# REPRO_BENCH_COUNT>=2), and a traced run exports a schema-valid
+# JSON-lines trace (always asserted).
+bench-obs:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest tests/test_obs.py -q
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/bench_obs.py \
 		-q --benchmark-only

@@ -47,6 +47,7 @@ class DetRngRule(Rule):
             "repro/core/",
             "repro/experiments/",
             "repro/server/",
+            "repro/obs/",
         ],
     }
 

@@ -9,8 +9,11 @@ instead of per-cell ``set`` loops.  This rule flags:
 * any ``tuple_oracle()`` use outside the monomial module that defines
   it (differential tests live in ``tests/``, which lint does not scan;
   bench seed legs carry justified pragmas);
-* a ``.set(i, j, ...)`` matrix cell write driven from a loop — the
-  per-cell producer shape the bulk constructors replaced.
+* a ``.set(i, j, value)`` matrix cell write driven from a loop — the
+  per-cell producer shape the bulk constructors replaced.  The check
+  keys on the cell write's three-argument arity, which keeps it off the
+  two-argument ``span.set(key, value)`` attribute shape the
+  observability layer stamps inside loops.
 """
 
 from __future__ import annotations
@@ -60,7 +63,7 @@ class MaskPathRule(Rule):
         if (
             name == "set"
             and isinstance(node.func, ast.Attribute)
-            and len(node.args) >= 2
+            and len(node.args) >= 3
             and ctx.loop_depth > 0
         ):
             if file_is(ctx.modpath, self.settings["cell_exempt_files"]):

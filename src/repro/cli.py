@@ -23,6 +23,7 @@ from .anf import Ring, read_anf, write_anf
 from .core.bosphorus import Bosphorus, STATUS_SAT, STATUS_UNSAT
 from .core.config import Config
 from .experiments.runner import run_final_solver
+from .obs import NULL_TRACER, Tracer
 from .sat.dimacs import read_dimacs, write_dimacs
 
 
@@ -90,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "minimised Karnaugh covers and whole "
                              "conversion results are reused across runs "
                              "(content-addressed, version-stamped)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record a span trace of the whole run "
+                             "(preprocessing iterations, conversions, "
+                             "portfolio legs, cubes) and write it to "
+                             "FILE: Chrome trace_event JSON by default "
+                             "(open in chrome://tracing or Perfetto), "
+                             "JSON lines if FILE ends in .jsonl")
     parser.add_argument("--no-xl", action="store_true", help="disable XL")
     parser.add_argument("--no-elimlin", action="store_true", help="disable ElimLin")
     parser.add_argument("--no-sat", action="store_true", help="disable SAT learning")
@@ -105,7 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def config_from_args(args: argparse.Namespace) -> Config:
     """Translate CLI flags into a :class:`Config`."""
-    config = Config(seed=args.seed, cache_dir=args.cache_dir)
+    config = Config(
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        trace_path=getattr(args, "trace", None),
+    )
     overrides = {
         "xl_sample_bits": args.samplebits,
         "elimlin_sample_bits": args.samplebits,
@@ -140,7 +152,7 @@ def _model_validator(result):
     return make_model_validator(result.conversion, result.processed_anf)
 
 
-def _final_solve(args, result):
+def _final_solve(args, result, tracer=NULL_TRACER):
     """Solve the processed CNF per --cube / --portfolio / --backend / --solver."""
     if args.cube:
         from .cube import CubeConqueror
@@ -160,6 +172,7 @@ def _final_solve(args, result):
         conqueror = CubeConqueror(
             backends, jobs=args.jobs, depth=args.cube_depth,
             validate=_model_validator(result),
+            tracer=tracer,
         )
         outcome = conqueror.run(result.cnf, timeout_s=args.timeout)
         if args.verb >= 2:
@@ -181,6 +194,7 @@ def _final_solve(args, result):
             default_portfolio(seed=args.seed),
             jobs=args.jobs,
             validate=_model_validator(result),
+            tracer=tracer,
         )
         outcome = runner.run(result.cnf, timeout_s=args.timeout)
         if args.verb >= 2:
@@ -196,9 +210,14 @@ def _final_solve(args, result):
         if not backend.available():
             print("c backend unavailable: {}".format(backend.name))
             return None, None
-        res = backend.solve(result.cnf, timeout_s=args.timeout)
+        with tracer.span("final.solve", backend=backend.name) as span:
+            res = backend.solve(result.cnf, timeout_s=args.timeout)
+            span.set("conflicts", res.conflicts)
         return res.status, res.model
-    verdict, model, _ = run_final_solver(result.cnf, args.solver, args.timeout)
+    with tracer.span("final.solve", backend=args.solver):
+        verdict, model, _ = run_final_solver(
+            result.cnf, args.solver, args.timeout
+        )
     return verdict, model
 
 
@@ -257,7 +276,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
-    bosph = Bosphorus(config)
+    # The CLI owns the tracer (rather than letting Bosphorus build one
+    # from config.trace_path) so the final solve's portfolio legs and
+    # cubes land in the same stitched trace as the preprocessing loop.
+    tracer = Tracer() if args.trace else NULL_TRACER
+    try:
+        return _run(args, config, tracer)
+    finally:
+        if tracer.enabled:
+            tracer.export(args.trace)
+
+
+def _run(args, config, tracer) -> int:
+    bosph = Bosphorus(config, tracer=tracer)
 
     if args.anfread:
         with open(args.anfread) as f:
@@ -300,7 +331,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.solve:
         solution = result.solution
         if solution is None:
-            verdict, model = _final_solve(args, result)
+            verdict, model = _final_solve(args, result, tracer)
             if verdict is False:
                 print("s UNSATISFIABLE")
                 return 20

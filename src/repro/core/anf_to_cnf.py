@@ -50,6 +50,7 @@ from ..anf.polynomial import Poly
 from ..anf.system import AnfSystem
 from ..minimize import cube_to_clause, minimize, truth_table
 from ..minimize.truthtable import MAX_BATCH_VARS, truth_table_masks
+from ..obs import NULL_TRACER, MetricsRegistry
 from ..sat.dimacs import CnfFormula
 from ..sat.types import mk_lit
 from .config import Config
@@ -142,6 +143,8 @@ class AnfToCnf:
         config: Optional[Config] = None,
         store=None,
         use_conversion_cache: bool = True,
+        tracer=None,
+        metrics=None,
     ):
         self.config = config or Config()
         if store is None and self.config.cache_dir:
@@ -152,6 +155,11 @@ class AnfToCnf:
         self.use_conversion_cache = use_conversion_cache
         # shape_key -> minimised cube cover in local-index space.
         self._karnaugh_cache: Dict[tuple, list] = {}
+        # Observability (repro.obs): instance-threaded, never global.
+        # The owner of a run (Bosphorus) swaps in its per-run tracer and
+        # registry; standalone converters get inert/private ones.
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics or MetricsRegistry()
 
     def convert(self, system: AnfSystem) -> ConversionResult:
         """Convert the (propagated) system to CNF."""
@@ -187,6 +195,34 @@ class AnfToCnf:
         return self.convert_parts(n_vars, polynomials, state=None, scalar=True)
 
     def convert_parts(
+        self, n_vars, polynomials, state, scalar: bool = False
+    ) -> ConversionResult:
+        if scalar:
+            # The frozen oracle path stays untouched by observability:
+            # its value is re-deriving everything from scratch.
+            return self._convert_inner(n_vars, polynomials, state, scalar)
+        with self.tracer.span(
+            "anf_to_cnf.convert",
+            n_vars=n_vars,
+            n_polys=len(polynomials),
+        ) as span:
+            with self.metrics.timer("conversion_s"):
+                result = self._convert_inner(n_vars, polynomials, state, scalar)
+            stats = result.stats
+            span.set("clauses", len(result.formula.clauses))
+            for name in (
+                "karnaugh_cache_hits",
+                "karnaugh_cache_misses",
+                "karnaugh_disk_hits",
+                "conversion_disk_hits",
+            ):
+                value = getattr(stats, name)
+                span.set(name, value)
+                self.metrics.inc(name, value)
+            self.metrics.inc("conversions")
+        return result
+
+    def _convert_inner(
         self, n_vars, polynomials, state, scalar: bool = False
     ) -> ConversionResult:
         fingerprint = None

@@ -26,6 +26,7 @@ from ..anf import monomial as mono
 from ..anf.polynomial import Poly
 from ..anf.ring import Ring
 from ..anf.system import AnfSystem, ContradictionError
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..sat.dimacs import CnfFormula
 from ..sat.solver import SAT, UNSAT, SolverConfig
 from .anf_to_cnf import AnfToCnf, ConversionResult
@@ -85,14 +86,29 @@ class Bosphorus:
         self,
         config: Optional[Config] = None,
         inner_solver_config: Optional[SolverConfig] = None,
+        tracer=None,
     ):
         self.config = config or Config()
         self.inner_solver_config = inner_solver_config
+        # Observability (repro.obs).  A caller-supplied tracer is used
+        # as-is (the caller exports); otherwise ``config.trace_path``
+        # creates an owned tracer whose spans are exported when a
+        # preprocess entry point finishes.  The default is the
+        # zero-overhead no-op.  The metrics registry is per-run
+        # (``_run_loop`` swaps in a fresh one) — instance-threaded,
+        # never module-global.
+        self._owns_tracer = tracer is None and bool(self.config.trace_path)
+        if tracer is None:
+            tracer = Tracer() if self.config.trace_path else NULL_TRACER
+        self.tracer = tracer
+        self.metrics = MetricsRegistry()
         # One converter per workflow: its structure-keyed Karnaugh cache
         # is shared across the inner-SAT conversions of every iteration,
         # the final conversion and the CNF augmentation, so structurally
         # repeated chunks (cipher rounds) are minimised once per run.
-        self.converter = AnfToCnf(self.config)
+        self.converter = AnfToCnf(
+            self.config, tracer=self.tracer, metrics=self.metrics
+        )
 
     # -- entry points ---------------------------------------------------------
 
@@ -101,11 +117,21 @@ class Bosphorus:
     ) -> BosphorusResult:
         """Run the fact-learning loop on an ANF problem."""
         facts = FactStore()
-        try:
-            system = AnfSystem(ring, polynomials)
-        except ContradictionError:
-            return self._unsat_result(facts, iterations=0, ring=ring)
-        return self._run_loop(system, facts)
+        with self.tracer.span(
+            "bosphorus.preprocess",
+            n_vars=ring.n_vars,
+            n_polys=len(polynomials),
+        ) as span:
+            try:
+                system = AnfSystem(ring, polynomials)
+            except ContradictionError:
+                result = self._unsat_result(facts, iterations=0, ring=ring)
+            else:
+                result = self._run_loop(system, facts)
+            span.set("status", result.status)
+            span.set("iterations", result.iterations)
+        self._export_trace()
+        return result
 
     def preprocess_cnf(self, formula: CnfFormula) -> BosphorusResult:
         """Use Bosphorus as a CNF preprocessor (paper section III-D).
@@ -117,10 +143,21 @@ class Bosphorus:
         anf = cnf_to_anf(formula, self.config)
         result = self.preprocess_anf(anf.ring, anf.polynomials)
         result.original_cnf = formula
-        result.augmented_cnf = self._augment_cnf(formula, result, set(anf.cut_vars))
+        with self.tracer.span("bosphorus.augment_cnf"):
+            result.augmented_cnf = self._augment_cnf(
+                formula, result, set(anf.cut_vars)
+            )
         if result.solution is not None:
             result.solution = Solution(result.solution.values[: formula.n_vars])
+        # Re-export: the augmentation spans postdate preprocess_anf's
+        # export, and the trace file should cover the whole call.
+        self._export_trace()
         return result
+
+    def _export_trace(self) -> None:
+        """Write the owned tracer's spans to ``config.trace_path``."""
+        if self._owns_tracer and self.config.trace_path:
+            self.tracer.export(self.config.trace_path)
 
     # -- the loop -------------------------------------------------------------
 
@@ -133,14 +170,18 @@ class Bosphorus:
         status = STATUS_UNKNOWN
         iterations = 0
         technique_stats: List[Dict[str, object]] = []
-        # Run-wide Karnaugh-cache accounting: the shared converter is
-        # invoked once per use_sat iteration plus once for the final
-        # CNF, and each conversion carries fresh counters — sum them so
-        # the reported numbers reflect the whole run.  Disk-tier hits
-        # (persistent cache, when config.cache_dir is set) are summed
-        # separately.
-        cache_hits = cache_misses = 0
-        disk_hits = conversion_disk_hits = 0
+        tracer = self.tracer
+        # Run-wide accounting lives in a fresh per-run MetricsRegistry
+        # (repro.obs): the shared converter increments the Karnaugh/disk
+        # cache counters on *every* conversion it performs — inner-SAT
+        # iterations, the final CNF, the CNF augmentation — and the
+        # result stats are re-derived from the registry.  That makes the
+        # totals exit-path independent: an early-exit (facts-solved →
+        # UNSAT) run reports the conversions it did perform instead of
+        # silently dropping them.
+        metrics = MetricsRegistry()
+        self.metrics = metrics
+        self.converter.metrics = metrics
         # Snapshot the monomial-layer fallback counter: the whole run —
         # propagation, XL/ElimLin, probing, conversion — must stay on the
         # width-adaptive mask path, and the delta is reported so tests
@@ -148,92 +189,131 @@ class Bosphorus:
         fallback_base = mono.fallback_hits()
 
         try:
-            propagate(system)
+            with tracer.span("propagation.initial"):
+                propagate(system)
             for iterations in range(1, config.max_iterations + 1):
                 new_facts = 0
                 it_stats: Dict[str, object] = {"iteration": iterations}
+                it_span = tracer.span("satlearn.iteration", iteration=iterations)
+                with it_span:
+                    if config.use_xl:
+                        with tracer.span("xl") as span, metrics.timer("xl_s"):
+                            xl_res = run_xl(system.polynomials, config, rng)
+                            added = self._absorb(
+                                system, facts, xl_res.facts, SOURCE_XL
+                            )
+                            span.set("facts", added)
+                        it_stats["xl_facts"] = added
+                        new_facts += added
 
-                if config.use_xl:
-                    xl_res = run_xl(system.polynomials, config, rng)
-                    added = self._absorb(system, facts, xl_res.facts, SOURCE_XL)
-                    it_stats["xl_facts"] = added
-                    new_facts += added
+                    if config.use_elimlin:
+                        with tracer.span("elimlin") as span, metrics.timer(
+                            "elimlin_s"
+                        ):
+                            el_res = run_elimlin(system.polynomials, config, rng)
+                            added = self._absorb(
+                                system, facts, el_res.facts, SOURCE_ELIMLIN
+                            )
+                            span.set("facts", added)
+                        it_stats["elimlin_facts"] = added
+                        new_facts += added
 
-                if config.use_elimlin:
-                    el_res = run_elimlin(system.polynomials, config, rng)
-                    added = self._absorb(system, facts, el_res.facts, SOURCE_ELIMLIN)
-                    it_stats["elimlin_facts"] = added
-                    new_facts += added
+                    if config.use_groebner:
+                        with tracer.span("groebner") as span, metrics.timer(
+                            "groebner_s"
+                        ):
+                            gb_res = buchberger(
+                                list(system.polynomials),
+                                max_pairs=config.groebner_max_pairs,
+                                max_basis=config.groebner_max_basis,
+                            )
+                            added = self._absorb(
+                                system, facts, gb_res.facts, SOURCE_GROEBNER
+                            )
+                            span.set("facts", added)
+                        it_stats["groebner_facts"] = added
+                        new_facts += added
 
-                if config.use_groebner:
-                    gb_res = buchberger(
-                        list(system.polynomials),
-                        max_pairs=config.groebner_max_pairs,
-                        max_basis=config.groebner_max_basis,
-                    )
-                    added = self._absorb(system, facts, gb_res.facts, SOURCE_GROEBNER)
-                    it_stats["groebner_facts"] = added
-                    new_facts += added
+                    if config.use_probing:
+                        with tracer.span("probing") as span, metrics.timer(
+                            "probing_s"
+                        ):
+                            probe_res = run_probing(
+                                system, config, config.probe_limit
+                            )
+                            added = self._absorb(
+                                system, facts, probe_res.facts, SOURCE_PROBING
+                            )
+                            span.set("facts", added)
+                        it_stats["probing_facts"] = added
+                        new_facts += added
 
-                if config.use_probing:
-                    probe_res = run_probing(system, config, config.probe_limit)
-                    added = self._absorb(
-                        system, facts, probe_res.facts, SOURCE_PROBING
-                    )
-                    it_stats["probing_facts"] = added
-                    new_facts += added
+                    if config.use_sat:
+                        with tracer.span(
+                            "sat", budget=sat_budget
+                        ) as span, metrics.timer("sat_s"):
+                            sat_res = run_sat(
+                                system,
+                                config,
+                                sat_budget,
+                                self.inner_solver_config,
+                                converter=self.converter,
+                                tracer=tracer,
+                                metrics=metrics,
+                            )
+                            it_stats["sat_status"] = sat_res.status
+                            it_stats["sat_conflicts"] = sat_res.conflicts
+                            span.set("conflicts", sat_res.conflicts)
+                            if sat_res.portfolio is not None:
+                                it_stats["sat_portfolio_winner"] = (
+                                    sat_res.portfolio.winner
+                                )
+                            if sat_res.cube is not None:
+                                it_stats["sat_cubes"] = sat_res.cube.n_cubes
+                                it_stats["sat_cubes_refuted"] = (
+                                    sat_res.cube.n_refuted
+                                )
+                            if sat_res.status is UNSAT:
+                                raise ContradictionError(
+                                    "SAT solver proved UNSAT"
+                                )
+                            added = self._absorb(
+                                system, facts, sat_res.facts, SOURCE_SAT
+                            )
+                            span.set("facts", added)
+                        it_stats["sat_facts"] = added
+                        new_facts += added
+                        if sat_res.status is SAT and sat_res.model is not None:
+                            solution = Solution(list(sat_res.model))
+                            if config.stop_on_solution:
+                                status = STATUS_SAT
+                                technique_stats.append(it_stats)
+                                break
+                        if added == 0:
+                            sat_budget = min(
+                                sat_budget + config.sat_conflict_step,
+                                config.sat_conflict_max,
+                            )
 
-                if config.use_sat:
-                    sat_res = run_sat(
-                        system,
-                        config,
-                        sat_budget,
-                        self.inner_solver_config,
-                        converter=self.converter,
-                    )
-                    it_stats["sat_status"] = sat_res.status
-                    it_stats["sat_conflicts"] = sat_res.conflicts
-                    if sat_res.portfolio is not None:
-                        it_stats["sat_portfolio_winner"] = sat_res.portfolio.winner
-                    if sat_res.cube is not None:
-                        it_stats["sat_cubes"] = sat_res.cube.n_cubes
-                        it_stats["sat_cubes_refuted"] = sat_res.cube.n_refuted
-                    if sat_res.conversion is not None:
-                        cache_hits += sat_res.conversion.stats.karnaugh_cache_hits
-                        cache_misses += (
-                            sat_res.conversion.stats.karnaugh_cache_misses
-                        )
-                        disk_hits += sat_res.conversion.stats.karnaugh_disk_hits
-                        conversion_disk_hits += (
-                            sat_res.conversion.stats.conversion_disk_hits
-                        )
-                    if sat_res.status is UNSAT:
-                        raise ContradictionError("SAT solver proved UNSAT")
-                    added = self._absorb(system, facts, sat_res.facts, SOURCE_SAT)
-                    it_stats["sat_facts"] = added
-                    new_facts += added
-                    if sat_res.status is SAT and sat_res.model is not None:
-                        solution = Solution(list(sat_res.model))
-                        if config.stop_on_solution:
-                            status = STATUS_SAT
-                            technique_stats.append(it_stats)
-                            break
-                    if added == 0:
-                        sat_budget = min(
-                            sat_budget + config.sat_conflict_step,
-                            config.sat_conflict_max,
-                        )
-
-                technique_stats.append(it_stats)
-                if new_facts == 0:
-                    break
+                    technique_stats.append(it_stats)
+                    if new_facts == 0:
+                        break
         except ContradictionError:
+            metrics.inc(
+                "mask_fallback_hits", mono.fallback_hits() - fallback_base
+            )
             return self._unsat_result(
-                facts, iterations, ring=original_ring, stats=technique_stats
+                facts,
+                iterations,
+                ring=original_ring,
+                stats=technique_stats,
+                metrics=metrics,
             )
 
-        processed = materialize(system)
-        conversion = self.converter.convert(system)
+        with tracer.span("conversion.final"):
+            processed = materialize(system)
+            conversion = self.converter.convert(system)
+        metrics.inc("mask_fallback_hits", mono.fallback_hits() - fallback_base)
         return BosphorusResult(
             status=status,
             facts=facts,
@@ -243,19 +323,7 @@ class Bosphorus:
             conversion=conversion,
             solution=solution,
             system=system,
-            stats={
-                "techniques": technique_stats,
-                "fact_summary": facts.summary(),
-                "mask_fallback_hits": mono.fallback_hits() - fallback_base,
-                "karnaugh_cache_hits": cache_hits
-                + conversion.stats.karnaugh_cache_hits,
-                "karnaugh_cache_misses": cache_misses
-                + conversion.stats.karnaugh_cache_misses,
-                "karnaugh_disk_hits": disk_hits
-                + conversion.stats.karnaugh_disk_hits,
-                "conversion_disk_hits": conversion_disk_hits
-                + conversion.stats.conversion_disk_hits,
-            },
+            stats=self._assemble_stats(technique_stats, facts, metrics),
         )
 
     def _absorb(
@@ -286,10 +354,35 @@ class Bosphorus:
                     fresh.append(normalized)
                 added += 1
         if fresh:
-            propagate(system, dirty=fresh)
+            with self.tracer.span("propagation", source=source, fresh=len(fresh)):
+                propagate(system, dirty=fresh)
+        if added:
+            self.metrics.inc("facts_" + source, added)
         return added
 
-    def _unsat_result(self, facts, iterations, ring, stats=None) -> BosphorusResult:
+    def _assemble_stats(
+        self, techniques, facts: FactStore, metrics: MetricsRegistry
+    ) -> Dict[str, object]:
+        """The ``result.stats`` dict, re-derived from the run registry.
+
+        One assembly point for every exit path (fixed point, solution,
+        early UNSAT), so the run-wide conversion counters can never be
+        dropped by one path and kept by another.  Keys are frozen in
+        :mod:`repro.obs.schema`.
+        """
+        return {
+            "techniques": techniques,
+            "fact_summary": facts.summary(),
+            "mask_fallback_hits": metrics.counter("mask_fallback_hits"),
+            "karnaugh_cache_hits": metrics.counter("karnaugh_cache_hits"),
+            "karnaugh_cache_misses": metrics.counter("karnaugh_cache_misses"),
+            "karnaugh_disk_hits": metrics.counter("karnaugh_disk_hits"),
+            "conversion_disk_hits": metrics.counter("conversion_disk_hits"),
+        }
+
+    def _unsat_result(
+        self, facts, iterations, ring, stats=None, metrics=None
+    ) -> BosphorusResult:
         facts.add(Poly.one(), "contradiction")
         formula = CnfFormula(ring.n_vars if ring else 0)
         formula.add_clause([])
@@ -299,7 +392,9 @@ class Bosphorus:
             iterations=iterations,
             processed_anf=[Poly.one()],
             cnf=formula,
-            stats={"techniques": stats or []},
+            stats=self._assemble_stats(
+                stats or [], facts, metrics or MetricsRegistry()
+            ),
         )
 
     def _augment_cnf(
@@ -321,24 +416,16 @@ class Bosphorus:
             conv = self.converter.convert_polynomials(
                 fact_polys, n_vars=original.n_vars
             )
-            # This conversion is part of the run: fold its cache
-            # counters into the run-wide totals _run_loop assembled.
-            result.stats["karnaugh_cache_hits"] = (
-                result.stats.get("karnaugh_cache_hits", 0)
-                + conv.stats.karnaugh_cache_hits
-            )
-            result.stats["karnaugh_cache_misses"] = (
-                result.stats.get("karnaugh_cache_misses", 0)
-                + conv.stats.karnaugh_cache_misses
-            )
-            result.stats["karnaugh_disk_hits"] = (
-                result.stats.get("karnaugh_disk_hits", 0)
-                + conv.stats.karnaugh_disk_hits
-            )
-            result.stats["conversion_disk_hits"] = (
-                result.stats.get("conversion_disk_hits", 0)
-                + conv.stats.conversion_disk_hits
-            )
+            # This conversion is part of the run: the converter has
+            # already folded its cache counters into the run registry,
+            # so the run-wide totals are simply re-read from it.
+            for key in (
+                "karnaugh_cache_hits",
+                "karnaugh_cache_misses",
+                "karnaugh_disk_hits",
+                "conversion_disk_hits",
+            ):
+                result.stats[key] = self.metrics.counter(key)
             for clause in conv.formula.clauses:
                 augmented.add_clause(clause)
             for variables, rhs in conv.formula.xors:

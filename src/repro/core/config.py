@@ -72,6 +72,12 @@ class Config:
     # entries are content-addressed, version-stamped, and corrupt/stale
     # entries degrade to misses.  None keeps the caches in-memory only.
     cache_dir: Optional[str] = None
+    # Structured tracing (repro.obs): when set, one-shot entry points
+    # (Bosphorus, the CLI) record hierarchical spans for every phase and
+    # export them here on completion — Chrome trace_event format by
+    # default, JSON lines when the path ends in ".jsonl".  None keeps
+    # the zero-overhead no-op tracer everywhere.
+    trace_path: Optional[str] = None
     # Portfolio mode for the inner SAT step (repro.portfolio): instead of
     # one in-process solver, race the named backends under the same
     # conflict budget; the first *validated* verdict wins and learnt

@@ -23,6 +23,7 @@ from typing import List, Optional, Set, Tuple
 
 from ..anf.polynomial import Poly
 from ..anf.system import AnfSystem
+from ..obs import NULL_TRACER
 from ..sat.solver import SAT, UNKNOWN, UNSAT, Solver, SolverConfig
 from ..sat.types import TRUE, UNDEF, lit_neg, lit_sign, lit_var
 from ..sat.xorengine import XorEngine
@@ -63,12 +64,23 @@ class _HarvestedFacts:
         return self._level0
 
 
+def _status_name(status) -> str:
+    """Human-readable verdict for span attributes."""
+    if status is SAT:
+        return "sat"
+    if status is UNSAT:
+        return "unsat"
+    return "unknown"
+
+
 def _run_sat_portfolio(
     system: AnfSystem,
     config: Config,
     budget: int,
     conversion: ConversionResult,
     solver_config: Optional[SolverConfig] = None,
+    tracer=None,
+    metrics=None,
 ) -> SatLearnResult:
     """The inner SAT step as a backend race (``config.use_portfolio``).
 
@@ -107,6 +119,8 @@ def _run_sat_portfolio(
         backends,
         jobs=config.portfolio_jobs,
         validate=make_model_validator(conversion, system.polynomials),
+        tracer=tracer,
+        metrics=metrics,
     )
     outcome = runner.run(
         conversion.formula,
@@ -153,6 +167,8 @@ def _run_sat_cube(
     budget: int,
     conversion: ConversionResult,
     solver_config: Optional[SolverConfig] = None,
+    tracer=None,
+    metrics=None,
 ) -> SatLearnResult:
     """The inner SAT step as a cube-and-conquer run (``config.use_cube``).
 
@@ -193,6 +209,8 @@ def _run_sat_cube(
         mode=config.cube_mode,
         max_cubes=config.cube_max_cubes,
         validate=make_model_validator(conversion, system.polynomials),
+        tracer=tracer,
+        metrics=metrics,
     )
     outcome = conqueror.run(
         conversion.formula,
@@ -227,6 +245,8 @@ def run_sat(
     conflict_budget: Optional[int] = None,
     solver_config: Optional[SolverConfig] = None,
     converter: Optional[AnfToCnf] = None,
+    tracer=None,
+    metrics=None,
 ) -> SatLearnResult:
     """Convert, solve under a conflict budget, and harvest learnt facts.
 
@@ -246,49 +266,58 @@ def run_sat(
     ``result.conversion.stats.conversion_disk_hits``.
     """
     config = config or Config()
+    tracer = tracer or NULL_TRACER
     budget = conflict_budget if conflict_budget is not None else config.sat_conflict_start
-    conversion = (converter or AnfToCnf(config)).convert(system)
+    conversion = (converter or AnfToCnf(config, tracer=tracer)).convert(system)
     if config.use_cube and config.cube_backends:
-        return _run_sat_cube(system, config, budget, conversion, solver_config)
+        return _run_sat_cube(
+            system, config, budget, conversion, solver_config, tracer, metrics
+        )
     if config.use_portfolio and config.portfolio_backends:
         return _run_sat_portfolio(
-            system, config, budget, conversion, solver_config
+            system, config, budget, conversion, solver_config, tracer, metrics
         )
-    solver = Solver(solver_config)
-    solver.ensure_vars(conversion.formula.n_vars)
-    ok = True
-    for clause in conversion.formula.clauses:
-        if not solver.add_clause(clause):
-            ok = False
-            break
-    if ok and conversion.formula.xors:
-        engine = XorEngine()
-        for variables, rhs in conversion.formula.xors:
-            engine.add_xor(variables, rhs)
-        solver.attach_xor_engine(engine)
-        ok = solver.ok
+    with tracer.span(
+        "sat.solve", backend="in-process", budget=budget
+    ) as span:
+        solver = Solver(solver_config)
+        solver.ensure_vars(conversion.formula.n_vars)
+        ok = True
+        for clause in conversion.formula.clauses:
+            if not solver.add_clause(clause):
+                ok = False
+                break
+        if ok and conversion.formula.xors:
+            engine = XorEngine()
+            for variables, rhs in conversion.formula.xors:
+                engine.add_xor(variables, rhs)
+            solver.attach_xor_engine(engine)
+            ok = solver.ok
 
-    if not ok:
-        return SatLearnResult(
-            status=UNSAT, facts=[Poly.one()], conversion=conversion
+        if not ok:
+            span.set("status", "unsat")
+            return SatLearnResult(
+                status=UNSAT, facts=[Poly.one()], conversion=conversion
+            )
+
+        status = solver.solve(conflict_budget=budget)
+        span.set("status", _status_name(status))
+        span.set("conflicts", solver.num_conflicts)
+        result = SatLearnResult(
+            status=status, conflicts=solver.num_conflicts, conversion=conversion
         )
+        if status is UNSAT:
+            result.facts = [Poly.one()]
+            return result
 
-    status = solver.solve(conflict_budget=budget)
-    result = SatLearnResult(
-        status=status, conflicts=solver.num_conflicts, conversion=conversion
-    )
-    if status is UNSAT:
-        result.facts = [Poly.one()]
+        result.facts = extract_facts(solver, conversion, config)
+        if status is SAT:
+            model = []
+            for v in range(conversion.n_anf_vars):
+                val = solver.model[v] if v < len(solver.model) else UNDEF
+                model.append(1 if val == TRUE else 0)
+            result.model = model
         return result
-
-    result.facts = extract_facts(solver, conversion, config)
-    if status is SAT:
-        model = []
-        for v in range(conversion.n_anf_vars):
-            val = solver.model[v] if v < len(solver.model) else UNDEF
-            model.append(1 if val == TRUE else 0)
-        result.model = model
-    return result
 
 
 def extract_facts(

@@ -33,11 +33,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..portfolio.backends import BackendResult, SolverBackend, create_backend
 from ..portfolio.batch import (
     BatchItemError,
     BatchScheduler,
     batch_cancel,
+    batch_tracing,
     mp_context,
 )
 from ..sat.dimacs import CnfFormula
@@ -69,6 +71,9 @@ class CubeStats:
     conflicts: int = 0
     assumption_failure: bool = False
     error: Optional[str] = None
+    #: Trace span id of this cube's conquest leg (tracing runs only),
+    #: so the stats row links into the stitched cross-process timeline.
+    span_id: Optional[str] = None
 
 
 @dataclass
@@ -114,7 +119,26 @@ def _solve_cube(item):
         cancel=batch_cancel(),
         assumptions=list(cube),
     )
-    return index, result, time.monotonic() - t0
+    elapsed = time.monotonic() - t0
+    if batch_tracing():
+        # Post-fork instrumentation (FORK-SAFETY): a worker-local tracer
+        # and registry, created here and shipped back on the result for
+        # parent-side adoption/merging.
+        tracer = Tracer()
+        with tracer.span(
+            "cube.solve", cube=list(cube), backend=backend.name, index=index
+        ) as span:
+            span.set("conflicts", result.conflicts)
+            span.set("cancelled", result.cancelled)
+        span.data["t0"] = t0
+        span.data["dur"] = elapsed
+        registry = MetricsRegistry()
+        registry.inc("cube_solves")
+        registry.inc("cube_conflicts", result.conflicts)
+        registry.observe("cube_solve_s", elapsed)
+        result.spans = tracer.spans()
+        result.metrics = registry.snapshot()
+    return index, result, elapsed
 
 
 class CubeConqueror:
@@ -138,6 +162,8 @@ class CubeConqueror:
         mode: str = "lookahead",
         max_cubes: int = DEFAULT_MAX_CUBES,
         validate: Optional[Callable[[List[int]], bool]] = None,
+        tracer=None,
+        metrics=None,
     ):
         if not backends:
             raise ValueError("cube-and-conquer needs at least one backend")
@@ -149,6 +175,11 @@ class CubeConqueror:
         self.mode = mode
         self.max_cubes = max_cubes
         self.validate = validate
+        # Observability (repro.obs): instance-threaded, parent-side.
+        # Cube-worker spans/metrics ride each BackendResult back and are
+        # adopted/merged at aggregation time.
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def run(
         self,
@@ -158,51 +189,58 @@ class CubeConqueror:
     ) -> CubeOutcome:
         start = time.monotonic()
         deadline = start + timeout_s if timeout_s is not None else None
-        cubeset = split_formula(
-            formula, self.depth, mode=self.mode, max_cubes=self.max_cubes
-        )
-        outcome = CubeOutcome(
-            None,
-            n_cubes=len(cubeset.cubes),
-            n_refuted_at_split=len(cubeset.refuted),
-            variables=list(cubeset.variables),
-        )
-        if cubeset.root_unsat:
-            outcome.verdict = UNSAT
-            outcome.global_unsat = True
+        with self.tracer.span("cube.conquer", mode=self.mode) as conquer_span:
+            with self.tracer.span("cube.split", depth=self.depth) as split_span:
+                cubeset = split_formula(
+                    formula, self.depth, mode=self.mode,
+                    max_cubes=self.max_cubes,
+                )
+                split_span.set("cubes", len(cubeset.cubes))
+                split_span.set("refuted_at_split", len(cubeset.refuted))
+            conquer_span.set("cubes", len(cubeset.cubes))
+            outcome = CubeOutcome(
+                None,
+                n_cubes=len(cubeset.cubes),
+                n_refuted_at_split=len(cubeset.refuted),
+                variables=list(cubeset.variables),
+            )
+            if cubeset.root_unsat:
+                outcome.verdict = UNSAT
+                outcome.global_unsat = True
+                outcome.wall_seconds = time.monotonic() - start
+                return outcome
+
+            backends = [b for b in self.backends if b.available()]
+            if not backends:
+                outcome.wall_seconds = time.monotonic() - start
+                return outcome
+            items = [
+                (i, cube, backends[i % len(backends)], formula, deadline,
+                 conflict_budget)
+                for i, cube in enumerate(cubeset.cubes)
+            ]
+            cancel = mp_context().Event()
+
+            def stop_when(entry) -> bool:
+                _, res, _ = entry
+                res = self._validated(res)
+                if res.status is SAT:
+                    return True
+                # The whole-formula shortcut (in-process backends only:
+                # DimacsBackend flags every cubed UNSAT conservatively).
+                return res.status is UNSAT and not res.assumption_failure
+
+            raw = BatchScheduler(self.jobs).map(
+                _solve_cube, items, cancel=cancel, stop_when=stop_when,
+                trace=self.tracer.enabled,
+            )
+            self._aggregate(outcome, cubeset, items, raw, conquer_span.id)
             outcome.wall_seconds = time.monotonic() - start
             return outcome
-
-        backends = [b for b in self.backends if b.available()]
-        if not backends:
-            outcome.wall_seconds = time.monotonic() - start
-            return outcome
-        items = [
-            (i, cube, backends[i % len(backends)], formula, deadline,
-             conflict_budget)
-            for i, cube in enumerate(cubeset.cubes)
-        ]
-        cancel = mp_context().Event()
-
-        def stop_when(entry) -> bool:
-            _, res, _ = entry
-            res = self._validated(res)
-            if res.status is SAT:
-                return True
-            # The whole-formula shortcut (in-process backends only:
-            # DimacsBackend flags every cubed UNSAT conservatively).
-            return res.status is UNSAT and not res.assumption_failure
-
-        raw = BatchScheduler(self.jobs).map(
-            _solve_cube, items, cancel=cancel, stop_when=stop_when
-        )
-        self._aggregate(outcome, cubeset, items, raw)
-        outcome.wall_seconds = time.monotonic() - start
-        return outcome
 
     # -- aggregation --------------------------------------------------------
 
-    def _aggregate(self, outcome, cubeset, items, raw) -> None:
+    def _aggregate(self, outcome, cubeset, items, raw, parent_id=None) -> None:
         results: List[Optional[BackendResult]] = [None] * len(items)
         for slot, entry in enumerate(raw):
             index, cube, backend = items[slot][0], items[slot][1], items[slot][2]
@@ -213,12 +251,14 @@ class CubeConqueror:
                 ))
                 continue
             index, res, seconds = entry
+            span_id = self._absorb_observability(res, parent_id)
             res = self._validated(res)
             results[index] = res
             outcome.stats.append(CubeStats(
                 index, cube, backend.name, self._status_of(res),
                 seconds=seconds, conflicts=res.conflicts,
                 assumption_failure=res.assumption_failure, error=res.error,
+                span_id=span_id,
             ))
         outcome.results = results
 
@@ -270,6 +310,26 @@ class CubeConqueror:
         outcome.binaries = sorted(binaries)
 
     # -- helpers ------------------------------------------------------------
+
+    def _absorb_observability(
+        self, res: Optional[BackendResult], parent_id: Optional[str]
+    ) -> Optional[str]:
+        """Merge one cube result's spans/metrics at the result boundary.
+
+        Adoption reparents the worker's root span under the conquer
+        span and deduplicates by span id, so a retried/respawned
+        delivery merges exactly once.  Returns the leg span id, if any.
+        """
+        if res is None:
+            return None
+        self.metrics.merge(res.metrics)
+        if not res.spans:
+            return None
+        self.tracer.adopt(res.spans, parent_id=parent_id)
+        for span in res.spans:
+            if span.get("parent") is None:
+                return span.get("id")
+        return None
 
     def _validated(self, res: BackendResult) -> BackendResult:
         if res.status is SAT and self.validate is not None:

@@ -1,0 +1,59 @@
+"""repro.obs — structured tracing + metrics for the solving stack.
+
+Three pieces:
+
+* :mod:`repro.obs.trace` — hierarchical spans (monotonic clocks only)
+  with a zero-overhead no-op default, cross-process stitching via
+  :meth:`Tracer.adopt`, and JSON-lines / Chrome ``trace_event`` export;
+* :mod:`repro.obs.metrics` — instance-threaded counters, gauges and
+  duration histograms, merged parent-side at the result boundary;
+* :mod:`repro.obs.schema` — the frozen ``result.stats`` key schema and
+  the span-dict validator.
+
+Standing invariants (ROADMAP): no module-global tracer or registry
+(FORK-SAFETY), ``time.monotonic()`` only (DET-RNG), worker spans and
+metrics ride result objects and merge parent-side, and spans never
+alter solver control flow.
+"""
+
+from .metrics import MetricsRegistry
+from .schema import (
+    SPAN_KEYS,
+    STATS_KEYS,
+    STATS_SCHEMA,
+    TECHNIQUE_KEYS,
+    TECHNIQUE_SCHEMA,
+    undeclared_stats_keys,
+    validate_span,
+    validate_spans,
+    validate_stats,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    export_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "export_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "SPAN_KEYS",
+    "STATS_KEYS",
+    "STATS_SCHEMA",
+    "TECHNIQUE_KEYS",
+    "TECHNIQUE_SCHEMA",
+    "undeclared_stats_keys",
+    "validate_span",
+    "validate_spans",
+    "validate_stats",
+]

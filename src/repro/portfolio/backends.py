@@ -82,6 +82,13 @@ class BackendResult:
     demoted: bool = False
     assumption_failure: bool = False
     error: Optional[str] = None
+    # Observability (repro.obs), populated only when tracing is on: the
+    # worker-local tracer's finished span dicts and the worker-local
+    # MetricsRegistry snapshot.  They ride the result back across the
+    # pickle boundary and are adopted/merged parent-side — the same
+    # shipping pattern as the learnt facts above.
+    spans: Optional[list] = None
+    metrics: Optional[dict] = None
 
 
 def _deadline_of(timeout_s: Optional[float], deadline: Optional[float]) -> Optional[float]:

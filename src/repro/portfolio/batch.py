@@ -107,14 +107,16 @@ _BATCH_FN = None
 _BATCH_ITEMS: Sequence = ()
 _BATCH_CANCEL = None
 _BATCH_STARTED = None
+_BATCH_TRACE = False
 
 
-def _init_batch(fn, items, cancel, started=None) -> None:  # repro: allow[FORK-SAFETY] the documented fork-inheritance shipping point: runs once per worker in the pool initializer, before any item
-    global _BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL, _BATCH_STARTED
+def _init_batch(fn, items, cancel, started=None, trace=False) -> None:  # repro: allow[FORK-SAFETY] the documented fork-inheritance shipping point: runs once per worker in the pool initializer, before any item
+    global _BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL, _BATCH_STARTED, _BATCH_TRACE
     _BATCH_FN = fn
     _BATCH_ITEMS = items
     _BATCH_CANCEL = cancel
     _BATCH_STARTED = started
+    _BATCH_TRACE = trace
 
 
 def batch_cancel():
@@ -122,6 +124,16 @@ def batch_cancel():
     function (worker process or the in-process sequential path); ``None``
     when the current batch runs without one."""
     return _BATCH_CANCEL
+
+
+def batch_tracing() -> bool:
+    """True when the parent scheduled this batch with tracing on.
+
+    Item functions use it to decide whether to create a worker-local
+    :class:`repro.obs.Tracer` (post-fork — never fork-inherited) and
+    attach its spans to their result for parent-side adoption.
+    """
+    return _BATCH_TRACE
 
 
 def _run_batch_item(index: int):
@@ -169,6 +181,7 @@ class BatchScheduler:
         items: Sequence[T],
         cancel=None,
         stop_when: Optional[Callable[[R], bool]] = None,
+        trace: bool = False,
     ) -> List[R]:
         """``[fn(item) for item in items]`` over the pool, in item order.
 
@@ -182,7 +195,7 @@ class BatchScheduler:
         """
         items = list(items)
         if self.jobs == 1 or len(items) <= 1:
-            return self._map_sequential(fn, items, cancel, stop_when)
+            return self._map_sequential(fn, items, cancel, stop_when, trace)
         ctx = mp_context()
         results: List = [None] * len(items)
         attempts = [0] * len(items)
@@ -196,7 +209,8 @@ class BatchScheduler:
             # never ran.
             started = ctx.Array("b", len(items), lock=False)
             broken = self._map_round(
-                ctx, fn, items, pending, started, results, cancel, stop_when
+                ctx, fn, items, pending, started, results, cancel, stop_when,
+                trace,
             )
             if not broken:
                 break
@@ -244,7 +258,8 @@ class BatchScheduler:
         return results
 
     def _map_round(
-        self, ctx, fn, items, pending, started, results, cancel, stop_when
+        self, ctx, fn, items, pending, started, results, cancel, stop_when,
+        trace=False,
     ) -> bool:
         """One executor lifetime over ``pending``; True if the pool broke.
 
@@ -258,7 +273,7 @@ class BatchScheduler:
             max_workers=min(self.jobs, len(pending)),
             mp_context=ctx,
             initializer=_init_batch,
-            initargs=(fn, items, cancel, started),
+            initargs=(fn, items, cancel, started, trace),
         ) as executor:
             futures = {executor.submit(_run_batch_item, i): i for i in pending}
             for future in as_completed(futures):
@@ -276,12 +291,15 @@ class BatchScheduler:
                 self._maybe_stop(result, cancel, stop_when)
         return broken
 
-    def _map_sequential(self, fn, items, cancel, stop_when) -> List:
+    def _map_sequential(self, fn, items, cancel, stop_when, trace=False) -> List:
         # Install the worker-side globals in-process too, so item
         # functions reach the cancel event through batch_cancel() on
         # both paths.
-        saved = (_BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL, _BATCH_STARTED)
-        _init_batch(fn, items, cancel)
+        saved = (
+            _BATCH_FN, _BATCH_ITEMS, _BATCH_CANCEL, _BATCH_STARTED,
+            _BATCH_TRACE,
+        )
+        _init_batch(fn, items, cancel, trace=trace)
         try:
             results: List = []
             for i in range(len(items)):

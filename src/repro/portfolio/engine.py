@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..sat.solver import SAT, UNSAT
 from .backends import BackendResult, SolverBackend
 from .batch import mp_context
@@ -60,6 +61,9 @@ class PortfolioStats:
     cancelled: bool = False
     demoted: bool = False
     error: Optional[str] = None
+    #: Trace span id of this backend's solving leg (tracing runs only),
+    #: so the stats row links into the stitched cross-process timeline.
+    span_id: Optional[str] = None
 
 
 @dataclass
@@ -109,12 +113,43 @@ def arbitrate(
 # the shared formula would otherwise be re-pickled once per backend.
 _WORKER_CANCEL = None
 _WORKER_FORMULA = None
+_WORKER_TRACE = False
 
 
-def _init_worker(cancel, formula) -> None:  # repro: allow[FORK-SAFETY] the documented fork-inheritance shipping point: runs once per worker in the pool initializer, before any solve
-    global _WORKER_CANCEL, _WORKER_FORMULA
+def _init_worker(cancel, formula, trace=False) -> None:  # repro: allow[FORK-SAFETY] the documented fork-inheritance shipping point: runs once per worker in the pool initializer, before any solve
+    global _WORKER_CANCEL, _WORKER_FORMULA, _WORKER_TRACE
     _WORKER_CANCEL = cancel
     _WORKER_FORMULA = formula
+    _WORKER_TRACE = trace
+
+
+def _observe_backend(
+    result: BackendResult, backend_name: str, name: str, index: int,
+    t0: float, elapsed: float,
+) -> None:
+    """Attach a worker-local span + metrics snapshot to ``result``.
+
+    Post-fork instrumentation (FORK-SAFETY): the tracer and registry are
+    created *here*, in the process that did the solving, and their
+    serialized state rides the result back for parent-side merging.
+    The span brackets work that already happened, so its window is
+    rewritten to the measured solve interval (``time.monotonic()`` is
+    system-wide, so the parent's stitched timeline stays aligned).
+    """
+    tracer = Tracer()
+    with tracer.span(name, backend=backend_name, index=index) as span:
+        span.set("conflicts", result.conflicts)
+        span.set("cancelled", result.cancelled)
+        if result.error:
+            span.set("error", result.error)
+    span.data["t0"] = t0
+    span.data["dur"] = elapsed
+    registry = MetricsRegistry()
+    registry.inc("backend_solves")
+    registry.inc("backend_conflicts", result.conflicts)
+    registry.observe("backend_solve_s", elapsed)
+    result.spans = tracer.spans()
+    result.metrics = registry.snapshot()
 
 
 def _solve_entry(
@@ -137,7 +172,12 @@ def _solve_entry(
             facts_safe=False,
             error="{}: {}".format(type(exc).__name__, exc),
         )
-    return index, result, time.monotonic() - start
+    elapsed = time.monotonic() - start
+    if _WORKER_TRACE:
+        _observe_backend(
+            result, backend.name, "portfolio.backend", index, start, elapsed
+        )
+    return index, result, elapsed
 
 
 class PortfolioRunner:
@@ -156,12 +196,19 @@ class PortfolioRunner:
         backends: Sequence[SolverBackend],
         jobs: Optional[int] = None,
         validate: Optional[Callable[[List[int]], bool]] = None,
+        tracer=None,
+        metrics=None,
     ):
         if not backends:
             raise ValueError("a portfolio needs at least one backend")
         self.backends = list(backends)
         self.jobs = jobs
         self.validate = validate
+        # Observability (repro.obs): instance-threaded, parent-side.
+        # Worker spans/metrics ride each BackendResult back and are
+        # adopted/merged here at the result boundary.
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- public API --------------------------------------------------------
 
@@ -177,66 +224,78 @@ class PortfolioRunner:
         # deep).  time.monotonic() is system-wide, so the absolute value
         # stays meaningful inside worker processes.
         deadline = start + timeout_s if timeout_s is not None else None
-        active: List[Tuple[int, SolverBackend]] = []
-        stats: List[Optional[PortfolioStats]] = [None] * len(self.backends)
-        for i, backend in enumerate(self.backends):
-            if backend.available():
-                active.append((i, backend))
+        with self.tracer.span(
+            "portfolio.race",
+            backends=[b.name for b in self.backends],
+        ) as race_span:
+            active: List[Tuple[int, SolverBackend]] = []
+            stats: List[Optional[PortfolioStats]] = [None] * len(self.backends)
+            for i, backend in enumerate(self.backends):
+                if backend.available():
+                    active.append((i, backend))
+                else:
+                    stats[i] = PortfolioStats(backend.name, STATUS_SKIPPED)
+
+            if self.jobs is not None:
+                jobs = self.jobs
             else:
-                stats[i] = PortfolioStats(backend.name, STATUS_SKIPPED)
+                jobs = min(len(active), os.cpu_count() or 1)
+            jobs = max(1, min(jobs, len(active))) if active else 1
+            race_span.set("jobs", jobs)
+            if not active:
+                return PortfolioResult(
+                    None, stats=[s for s in stats if s], wall_seconds=0.0,
+                    results=[None] * len(self.backends),
+                )
 
-        if self.jobs is not None:
-            jobs = self.jobs
-        else:
-            jobs = min(len(active), os.cpu_count() or 1)
-        jobs = max(1, min(jobs, len(active))) if active else 1
-        if not active:
+            results: List[Optional[BackendResult]] = [None] * len(self.backends)
+            seconds = [0.0] * len(self.backends)
+            leg_ids: List[Optional[str]] = [None] * len(self.backends)
+            if jobs == 1:
+                self._run_sequential(
+                    active, formula, deadline, conflict_budget, results,
+                    seconds, stats, leg_ids,
+                )
+            else:
+                self._run_parallel(
+                    active, formula, deadline, conflict_budget, results,
+                    seconds, stats, jobs, leg_ids, race_span.id,
+                )
+
+            out_stats = []
+            for i, row in enumerate(stats):
+                if row is None:
+                    row = self._stats_row(
+                        self.backends[i], results[i], seconds[i]
+                    )
+                    stats[i] = row
+                row.span_id = leg_ids[i]
+                out_stats.append(row)
+            winner = arbitrate(list(enumerate(results)))
+            verdict = None
+            model = None
+            winner_name = None
+            if winner is not None:
+                win_result = results[winner]
+                verdict = bool(win_result.status)
+                model = win_result.model
+                winner_name = self.backends[winner].name
+                out_stats[winner].won = True
+                race_span.set("winner", winner_name)
             return PortfolioResult(
-                None, stats=[s for s in stats if s], wall_seconds=0.0,
-                results=[None] * len(self.backends),
+                verdict,
+                model=model,
+                winner=winner_name,
+                stats=out_stats,
+                wall_seconds=time.monotonic() - start,
+                results=results,
             )
-
-        results: List[Optional[BackendResult]] = [None] * len(self.backends)
-        seconds = [0.0] * len(self.backends)
-        if jobs == 1:
-            self._run_sequential(
-                active, formula, deadline, conflict_budget, results, seconds, stats
-            )
-        else:
-            self._run_parallel(
-                active, formula, deadline, conflict_budget, results, seconds,
-                stats, jobs,
-            )
-
-        out_stats = []
-        for i, row in enumerate(stats):
-            if row is None:
-                row = self._stats_row(self.backends[i], results[i], seconds[i])
-                stats[i] = row
-            out_stats.append(row)
-        winner = arbitrate(list(enumerate(results)))
-        verdict = None
-        model = None
-        winner_name = None
-        if winner is not None:
-            win_result = results[winner]
-            verdict = bool(win_result.status)
-            model = win_result.model
-            winner_name = self.backends[winner].name
-            out_stats[winner].won = True
-        return PortfolioResult(
-            verdict,
-            model=model,
-            winner=winner_name,
-            stats=out_stats,
-            wall_seconds=time.monotonic() - start,
-            results=results,
-        )
 
     # -- execution modes ---------------------------------------------------
 
     def _run_sequential(
-        self, active, formula, deadline, conflict_budget, results, seconds, stats
+        self, active, formula, deadline, conflict_budget, results, seconds,
+        stats, leg_ids,
     ) -> None:
         decided = False
         for index, backend in active:
@@ -245,25 +304,33 @@ class PortfolioRunner:
                     backend.name, STATUS_CANCELLED, cancelled=True
                 )
                 continue
-            t0 = time.monotonic()
-            try:
-                result = backend.solve(
-                    formula, deadline=deadline, conflict_budget=conflict_budget
-                )
-            except Exception as exc:
-                result = BackendResult(
-                    None,
-                    facts_safe=False,
-                    error="{}: {}".format(type(exc).__name__, exc),
-                )
-            seconds[index] = time.monotonic() - t0
+            with self.tracer.span(
+                "portfolio.backend", backend=backend.name, index=index
+            ) as span:
+                t0 = time.monotonic()
+                try:
+                    result = backend.solve(
+                        formula, deadline=deadline, conflict_budget=conflict_budget
+                    )
+                except Exception as exc:
+                    result = BackendResult(
+                        None,
+                        facts_safe=False,
+                        error="{}: {}".format(type(exc).__name__, exc),
+                    )
+                seconds[index] = time.monotonic() - t0
+                span.set("conflicts", result.conflicts)
+            leg_ids[index] = span.id
+            self.metrics.inc("backend_solves")
+            self.metrics.inc("backend_conflicts", result.conflicts)
+            self.metrics.observe("backend_solve_s", seconds[index])
             results[index] = self._validated(result)
             if results[index].status is not None:
                 decided = True
 
     def _run_parallel(
         self, active, formula, deadline, conflict_budget, results, seconds,
-        stats, jobs,
+        stats, jobs, leg_ids, race_id,
     ) -> None:
         ctx = mp_context()
         cancel = ctx.Event()
@@ -271,7 +338,7 @@ class PortfolioRunner:
             max_workers=jobs,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(cancel, formula),
+            initargs=(cancel, formula, self.tracer.enabled),
         )
         try:
             spawn_t0 = time.monotonic()
@@ -297,6 +364,7 @@ class PortfolioRunner:
                     # slot (it used to claim 0.0s).
                     elapsed = time.monotonic() - spawn_t0
                 seconds[index] = elapsed
+                leg_ids[index] = self._absorb_observability(result, race_id)
                 results[index] = self._validated(result)
                 if results[index].status is not None and not cancel.is_set():
                     # First definitive, validated verdict: stop the rest.
@@ -304,6 +372,26 @@ class PortfolioRunner:
         finally:
             cancel.set()
             executor.shutdown(wait=True)
+
+    def _absorb_observability(
+        self, result: Optional[BackendResult], parent_id: Optional[str]
+    ) -> Optional[str]:
+        """Merge one worker result's spans/metrics at the result boundary.
+
+        Adoption reparents the worker's root span under the race span
+        and deduplicates by span id, so a duplicate delivery can never
+        double-count.  Returns the worker's leg span id, if any.
+        """
+        if result is None:
+            return None
+        self.metrics.merge(result.metrics)
+        if not result.spans:
+            return None
+        self.tracer.adopt(result.spans, parent_id=parent_id)
+        for span in result.spans:
+            if span.get("parent") is None:
+                return span.get("id")
+        return None
 
     # -- helpers -----------------------------------------------------------
 

@@ -92,6 +92,9 @@ class SolverServer:
         loop = asyncio.get_running_loop()
         outbox: asyncio.Queue = asyncio.Queue()
         live_jobs: Set[int] = set()
+        # At most one periodic stats watcher per connection; holds the
+        # task under key "task" so _handle_request can replace/stop it.
+        watcher: Dict[str, asyncio.Task] = {}
         writer_task = asyncio.ensure_future(self._drain(outbox, writer))
 
         def post(message: Dict[str, object]) -> None:
@@ -106,7 +109,7 @@ class SolverServer:
                 if not line.strip():
                     continue
                 try:
-                    self._handle_request(line, post, live_jobs)
+                    self._handle_request(line, post, live_jobs, watcher)
                 except protocol.ProtocolError as exc:
                     post(protocol.event("error", error=str(exc)))
         except (ConnectionResetError, asyncio.IncompleteReadError):
@@ -114,27 +117,39 @@ class SolverServer:
         finally:
             for job_id in list(live_jobs):
                 self.pool.cancel(job_id)
-            writer_task.cancel()
-            try:
-                await writer_task
-            except asyncio.CancelledError:
-                pass
+            for task in (watcher.pop("task", None), writer_task):
+                if task is None:
+                    continue
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    def _handle_request(self, line: bytes, post, live_jobs: Set[int]) -> None:
+    def _handle_request(
+        self, line: bytes, post, live_jobs: Set[int], watcher
+    ) -> None:
         message = protocol.decode_line(line)
         op = protocol.parse_request(message)
         if op == "ping":
             post(protocol.event("pong"))
             return
         if op == "stats":
-            stats = dict(self.pool.stats())
-            stats["cache_dir"] = self.pool.cache_dir
-            post(protocol.event("stats", **stats))
+            post(protocol.event("stats", **self._stats_snapshot()))
+            if "watch" in message:
+                old = watcher.pop("task", None)
+                if old is not None:
+                    old.cancel()
+                interval = float(message["watch"])
+                if interval > 0:
+                    watcher["task"] = asyncio.ensure_future(
+                        self._watch_stats(interval, post)
+                    )
             return
         if op == "cancel":
             ok = self.pool.cancel(message["job"])
@@ -161,6 +176,20 @@ class SolverServer:
         job_id = self.pool.submit(spec, on_event=on_event)
         live_jobs.add(job_id)
         post(protocol.event("accepted", job=job_id, req=message.get("req")))
+
+    def _stats_snapshot(self) -> Dict[str, object]:
+        """Pool counters + merged metrics, as one ``stats`` event body."""
+        stats = dict(self.pool.stats())
+        stats["cache_dir"] = self.pool.cache_dir
+        return stats
+
+    async def _watch_stats(self, interval: float, post) -> None:
+        """Per-connection periodic metrics feed (``stats`` with
+        ``watch`` set): one snapshot event every ``interval`` seconds
+        until cancelled (watch replaced/stopped, or disconnect)."""
+        while True:
+            await asyncio.sleep(interval)
+            post(protocol.event("stats", watch=True, **self._stats_snapshot()))
 
     @staticmethod
     async def _drain(
@@ -262,6 +291,21 @@ class ServerClient:
         await self._send({"op": "ping"})
         await self._read_until(lambda e: e.get("event") == "pong")
 
-    async def stats(self) -> Dict[str, object]:
-        await self._send({"op": "stats"})
-        return await self._read_until(lambda e: e.get("event") == "stats")
+    async def stats(
+        self, watch: Optional[float] = None
+    ) -> Dict[str, object]:
+        """One stats snapshot; ``watch=<seconds>`` also (re)starts the
+        server-side periodic feed (``watch=0`` stops it)."""
+        message: Dict[str, object] = {"op": "stats"}
+        if watch is not None:
+            message["watch"] = watch
+        await self._send(message)
+        return await self._read_until(
+            lambda e: e.get("event") == "stats" and not e.get("watch")
+        )
+
+    async def watch_stats(self) -> Dict[str, object]:
+        """The next periodic snapshot from an active ``watch`` feed."""
+        return await self._read_until(
+            lambda e: e.get("event") == "stats" and e.get("watch")
+        )

@@ -26,6 +26,7 @@ from typing import Dict, Optional
 
 from ..anf.system import ContradictionError
 from ..core.config import Config
+from ..obs import MetricsRegistry, NULL_TRACER, Tracer
 from ..sat.dimacs import CnfFormula, parse_dimacs, write_dimacs
 
 #: Accepted ``JobSpec.fmt`` values.
@@ -51,7 +52,10 @@ class JobSpec:
     the per-job deadline, measured from the moment a worker *starts* the
     job (queue time does not count).  ``config`` carries
     :class:`repro.core.config.Config` field overrides (e.g.
-    ``{"max_iterations": 3}``); unknown fields are rejected.
+    ``{"max_iterations": 3}``); unknown fields are rejected.  ``trace``
+    records a per-stage span tree (:class:`repro.obs.Tracer`, created in
+    the worker, never fork-inherited) and returns it in the result's
+    ``"spans"`` list for client-side stitching/export.
     """
 
     job_id: int = 0
@@ -63,6 +67,7 @@ class JobSpec:
     conflict_budget: Optional[int] = None
     timeout_s: Optional[float] = None
     config: Dict[str, object] = field(default_factory=dict)
+    trace: bool = False
 
     def validate(self) -> None:
         if self.fmt not in FORMATS:
@@ -83,6 +88,11 @@ class JobSpec:
             # The cache directory is service policy, not client input —
             # a client must not point workers at arbitrary paths.
             raise ValueError("config override 'cache_dir' is reserved")
+        if "trace_path" in self.config:
+            # Same policy: a client must not make workers write files to
+            # arbitrary server-side paths.  Traced jobs return their
+            # spans in the result instead (``trace: true``).
+            raise ValueError("config override 'trace_path' is reserved")
 
 
 def _sha256_dimacs(formula: CnfFormula) -> str:
@@ -117,12 +127,22 @@ def execute_job(
 
     The result dict always carries ``job_id``, ``verdict`` (one of
     ``sat`` / ``unsat`` / ``unknown`` / ``cancelled``), ``model``,
-    ``stats`` and — whenever a CNF was produced — ``cnf_sha256``, the
-    hash of the exact DIMACS a fresh run must reproduce bit-for-bit
-    (warm persistent-cache restarts are asserted against it).
+    ``stats``, ``metrics`` (a :class:`repro.obs.MetricsRegistry`
+    snapshot the pool merges into its service-wide counters) and —
+    whenever a CNF was produced — ``cnf_sha256``, the hash of the exact
+    DIMACS a fresh run must reproduce bit-for-bit (warm
+    persistent-cache restarts are asserted against it).  With
+    ``spec.trace`` the result also carries ``"spans"``: the job's span
+    tree (root ``server.job``), recorded by a worker-local tracer.
     """
     spec.validate()
     started = time.perf_counter()
+    # Observability is per-job and worker-local: the tracer/registry are
+    # created here, after any fork, and leave this process only as plain
+    # dicts on the result (the standing fork-boundary pattern).
+    tracer = Tracer() if spec.trace else NULL_TRACER
+    metrics = MetricsRegistry()
+    root = tracer.span("server.job", job_id=spec.job_id, fmt=spec.fmt)
 
     def emit(stage: str, payload: Optional[Dict[str, object]] = None) -> None:
         if progress is not None:
@@ -142,6 +162,13 @@ def execute_job(
             result["n_clauses"] = len(formula.clauses)
         if extra:
             result.update(extra)
+        metrics.inc("jobs")
+        metrics.inc("jobs_" + verdict)
+        result["metrics"] = metrics.snapshot()
+        if tracer.enabled:
+            root.set("verdict", verdict)
+            root.__exit__(None, None, None)
+            result["spans"] = tracer.spans()
         return result
 
     def cancelled() -> bool:
@@ -153,16 +180,17 @@ def execute_job(
         raise ValueError(str(exc))
 
     # -- parse ---------------------------------------------------------------
-    if spec.fmt == "anf":
-        from ..anf import parse_system
+    with tracer.span("job.parse", fmt=spec.fmt), metrics.timer("parse_s"):
+        if spec.fmt == "anf":
+            from ..anf import parse_system
 
-        ring, polynomials = parse_system(spec.text)
-        emit("parsed", {"fmt": "anf", "n_vars": ring.n_vars,
-                        "n_polys": len(polynomials)})
-    else:
-        formula = parse_dimacs(spec.text)
-        emit("parsed", {"fmt": "dimacs", "n_vars": formula.n_vars,
-                        "n_clauses": len(formula.clauses)})
+            ring, polynomials = parse_system(spec.text)
+            emit("parsed", {"fmt": "anf", "n_vars": ring.n_vars,
+                            "n_polys": len(polynomials)})
+        else:
+            formula = parse_dimacs(spec.text)
+            emit("parsed", {"fmt": "dimacs", "n_vars": formula.n_vars,
+                            "n_clauses": len(formula.clauses)})
     if cancelled():
         return finish(VERDICT_CANCELLED)
 
@@ -172,11 +200,20 @@ def execute_job(
     if spec.preprocess:
         from ..core.bosphorus import Bosphorus, STATUS_SAT, STATUS_UNSAT
 
-        bosph = Bosphorus(config)
-        if spec.fmt == "anf":
-            pre = bosph.preprocess_anf(ring, polynomials)
-        else:
-            pre = bosph.preprocess_cnf(formula)
+        # The job's tracer is handed down, so the preprocessor's span
+        # tree (satlearn iterations, conversions, ...) nests under this
+        # stage; its per-run conversion counters merge into the job's
+        # registry afterwards.
+        bosph = Bosphorus(config, tracer=tracer)
+        with tracer.span("job.preprocess") as span, \
+                metrics.timer("preprocess_s"):
+            if spec.fmt == "anf":
+                pre = bosph.preprocess_anf(ring, polynomials)
+            else:
+                pre = bosph.preprocess_cnf(formula)
+            span.set("iterations", pre.iterations)
+            span.set("status", pre.status)
+        metrics.merge(bosph.metrics)
         cnf = pre.cnf
         pre_stats = dict(pre.stats)
         pre_stats["iterations"] = pre.iterations
@@ -201,7 +238,9 @@ def execute_job(
             system = AnfSystem(ring, polynomials)
         except ContradictionError:
             return finish(VERDICT_UNSAT)
-        conversion = AnfToCnf(config).convert(system)
+        conversion = AnfToCnf(config, tracer=tracer, metrics=metrics).convert(
+            system
+        )
         cnf = conversion.formula
         pre_stats = {
             "karnaugh_disk_hits": conversion.stats.karnaugh_disk_hits,
@@ -228,15 +267,22 @@ def execute_job(
     remaining = None
     if spec.timeout_s is not None:
         remaining = max(0.0, spec.timeout_s - (time.perf_counter() - started))
-    res = backend.solve(
-        cnf,
-        timeout_s=remaining,
-        conflict_budget=spec.conflict_budget,
-        cancel=cancel,
-    )
-    verdict = _status_to_verdict(res.status, cancel)
-    if res.cancelled:
-        verdict = VERDICT_CANCELLED
+    with tracer.span(
+        "job.solve", backend=backend.name, n_clauses=len(cnf.clauses)
+    ) as span, metrics.timer("solve_s"):
+        res = backend.solve(
+            cnf,
+            timeout_s=remaining,
+            conflict_budget=spec.conflict_budget,
+            cancel=cancel,
+        )
+        verdict = _status_to_verdict(res.status, cancel)
+        if res.cancelled:
+            verdict = VERDICT_CANCELLED
+        span.set("verdict", verdict)
+        span.set("conflicts", res.conflicts)
+    metrics.inc("backend_solves")
+    metrics.inc("backend_conflicts", res.conflicts)
     stats = dict(pre_stats)
     stats["conflicts"] = res.conflicts
     stats["backend"] = backend.name

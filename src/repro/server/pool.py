@@ -44,6 +44,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
+from ..obs import MetricsRegistry
 from ..portfolio.batch import default_jobs, mp_context
 from .jobs import JobSpec, execute_job
 
@@ -182,6 +183,12 @@ class WorkerPool:
         self._respawns = 0
         self._completed = 0
         self._failed = 0
+        # Service-wide metrics: every finished job's worker-side
+        # registry snapshot (riding the result dict across the pickle
+        # boundary, like the rest of its payload) merges here — the
+        # standing fork-boundary pattern.  Instance-threaded, guarded by
+        # the pool lock.
+        self.metrics = MetricsRegistry()
         self._worker_queues: List[object] = [None] * self.n_workers
         self._workers: List[object] = [None] * self.n_workers
         for slot in range(self.n_workers):
@@ -318,6 +325,7 @@ class WorkerPool:
                 "done": states.count("done"),
                 "completed": self._completed,
                 "failed": self._failed,
+                "metrics": self.metrics.snapshot(),
             }
 
     # -- parent-side machinery ------------------------------------------------
@@ -358,6 +366,7 @@ class WorkerPool:
                 if self._flags[slot] == st.spec.job_id:
                     self._flags[slot] = _IDLE
             st.result = result
+            self.metrics.merge(result.get("metrics"))
             if result.get("verdict") == "error":
                 self._failed += 1
             else:

@@ -9,11 +9,18 @@ Client → server requests carry an ``op``:
 * ``{"op": "submit", "req": <client tag>, "fmt": "anf"|"dimacs",
   "text": "...", ...}`` — queue a job.  Optional fields mirror
   :class:`repro.server.jobs.JobSpec`: ``preprocess``, ``solve``,
-  ``backend``, ``conflict_budget``, ``timeout_s``, ``config``.  The
-  ``req`` tag (any JSON value) is echoed in the ``accepted`` event so a
-  pipelining client can correlate.
+  ``backend``, ``conflict_budget``, ``timeout_s``, ``config``,
+  ``trace`` (record the job's span tree; it comes back in the
+  ``result`` event's ``spans`` list).  The ``req`` tag (any JSON value)
+  is echoed in the ``accepted`` event so a pipelining client can
+  correlate.
 * ``{"op": "cancel", "job": <id>}`` — cooperative cancellation.
-* ``{"op": "ping"}`` / ``{"op": "stats"}`` — liveness / pool counters.
+* ``{"op": "ping"}`` / ``{"op": "stats"}`` — liveness / pool counters
+  (including the pool's merged ``metrics`` snapshot).  ``stats`` with
+  ``"watch": <seconds>`` additionally starts a periodic per-connection
+  metrics feed — a ``stats`` event (tagged ``"watch": true``) every
+  interval until ``{"op": "stats", "watch": 0}`` or disconnect; a new
+  ``watch`` replaces the previous one.
 
 Server → client events carry an ``event``:
 
@@ -52,6 +59,7 @@ _SPEC_FIELDS = (
     "conflict_budget",
     "timeout_s",
     "config",
+    "trace",
 )
 
 #: Request operations a server understands.
@@ -85,6 +93,16 @@ def parse_request(message: Dict[str, object]) -> str:
         )
     if op == "cancel" and not isinstance(message.get("job"), int):
         raise ProtocolError("cancel needs an integer 'job' id")
+    if op == "stats" and "watch" in message:
+        watch = message["watch"]
+        if (
+            isinstance(watch, bool)
+            or not isinstance(watch, (int, float))
+            or watch < 0
+        ):
+            raise ProtocolError(
+                "'watch' must be a non-negative number of seconds"
+            )
     return op
 
 

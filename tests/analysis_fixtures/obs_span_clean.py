@@ -1,0 +1,26 @@
+"""Fixture: a conforming observability span — monotonic clock only.
+
+The shape DET-RNG must stay quiet on: ``time.monotonic()`` for the
+span window (and ``time.perf_counter()`` for a fine-grained duration),
+no wall-clock reads anywhere.
+"""
+
+import time
+
+
+class MonotonicSpan:
+    def __init__(self, name):
+        self.name = name
+        self.t0 = 0.0
+        self.dur = 0.0
+        self.attrs = {}
+
+    def __enter__(self):
+        self.t0 = time.monotonic()
+        self._tick = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.dur = time.monotonic() - self.t0
+        self.attrs["fine_dur"] = time.perf_counter() - self._tick
+        return False

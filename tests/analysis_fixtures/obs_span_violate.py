@@ -1,0 +1,28 @@
+"""Fixture: an observability span timed with the wall clock.
+
+The real ``repro.obs`` tracer lives inside the DET-RNG clock scope:
+span timestamps must come from ``time.monotonic()`` so traces stay
+comparable across processes and immune to clock adjustments.  This
+span does it wrong twice — ``time.time()`` start/stop and a
+``datetime.now()`` "timestamp" attribute.
+"""
+
+import time
+from datetime import datetime
+
+
+class WallClockSpan:
+    def __init__(self, name):
+        self.name = name
+        self.t0 = 0.0
+        self.dur = 0.0
+        self.attrs = {}
+
+    def __enter__(self):
+        self.t0 = time.time()
+        self.attrs["started_at"] = datetime.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.dur = time.time() - self.t0
+        return False

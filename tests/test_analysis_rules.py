@@ -89,6 +89,34 @@ def test_rule_suppressed_with_justification(rule_id, stem, n):
         assert f.justification  # bare pragmas are a separate finding
 
 
+# -- DET-RNG over the observability layer ---------------------------------
+#
+# repro/obs/ is inside the production clock scope: span timestamps must
+# be monotonic.  The fixture pair demonstrates the rule firing on a
+# wall-clock span and staying quiet on the conforming monotonic shape.
+
+
+def test_det_rng_fires_on_wall_clock_span():
+    active, suppressed = run_fixture("DET-RNG", "obs_span_violate")
+    assert [f.rule for f in active] == ["DET-RNG"] * 3
+    assert suppressed == []
+    messages = " ".join(f.message for f in active)
+    assert "time.time()" in messages
+    assert "datetime.now()" in messages
+
+
+def test_det_rng_quiet_on_monotonic_span():
+    active, suppressed = run_fixture("DET-RNG", "obs_span_clean")
+    assert active == []
+    assert suppressed == []
+
+
+def test_obs_layer_is_inside_production_clock_scope():
+    from repro.analysis.rules.det_rng import DetRngRule
+
+    assert "repro/obs/" in DetRngRule.default_settings["clock_paths"]
+
+
 # -- ORACLE-FREEZE: fingerprint pinning against a temp tree ---------------
 
 ORACLE_SRC = '''\

@@ -212,3 +212,63 @@ def test_result_reports_run_wide_karnaugh_cache_stats():
     assert (hits + misses) > (
         final.karnaugh_cache_hits + final.karnaugh_cache_misses
     )
+
+
+# -- result.stats schema (repro.obs.schema) ---------------------------------
+
+
+def test_result_stats_keys_are_all_declared():
+    """Every key a preprocessing run emits — top-level and per-iteration
+    technique entries — is declared in the frozen schema, so dashboards
+    and downstream parsers can rely on the key set."""
+    from repro.obs import undeclared_stats_keys, validate_stats
+
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    cfg = Config(use_groebner=True, use_probing=True, stop_on_solution=False)
+    result = Bosphorus(cfg).preprocess_anf(ring, polys)
+    assert undeclared_stats_keys(result.stats) == []
+    validate_stats(result.stats)  # must not raise
+
+
+def test_augmented_cnf_stats_keys_are_all_declared():
+    from repro.obs import undeclared_stats_keys
+
+    formula = CnfFormula(3)
+    _xor_cnf(formula, [0, 1, 2], 1)
+    result = preprocess_cnf(formula)
+    assert undeclared_stats_keys(result.stats) == []
+
+
+def test_early_exit_run_still_reports_conversion_stats():
+    """Regression: a run that exits mid-iteration (solution found by the
+    inner SAT step, stop_on_solution) must still report the conversion
+    cache counters of the conversions it performed — the old manual
+    accumulation only ran on the fixed-point path and dropped them."""
+    ring, polys = parse_system(PAPER_EXAMPLE)
+    # SAT-only: the first iteration's inner-SAT conversion runs cold,
+    # then the solver finds the unique solution and the loop early-exits.
+    cfg = Config(use_xl=False, use_elimlin=False, stop_on_solution=True)
+    result = Bosphorus(cfg).preprocess_anf(ring, polys)
+    assert result.status == STATUS_SAT
+    counted = (
+        result.stats["karnaugh_cache_hits"]
+        + result.stats["karnaugh_cache_misses"]
+        + result.stats["conversion_disk_hits"]
+    )
+    assert counted >= 1
+
+
+def test_unsat_exit_still_reports_conversion_stats():
+    """The contradiction exit path reports conversion counters too."""
+    ring, polys = parse_system(
+        "x1*x2 + x3\nx1 + x2 + x3 + 1\nx1*x3 + x2 + 1\nx1 + 1\nx2\nx3 + 1"
+    )
+    cfg = Config(use_xl=False, use_elimlin=False)
+    result = Bosphorus(cfg).preprocess_anf(ring, polys)
+    for key in (
+        "karnaugh_cache_hits",
+        "karnaugh_cache_misses",
+        "karnaugh_disk_hits",
+        "conversion_disk_hits",
+    ):
+        assert key in result.stats  # present (and schema-typed) on UNSAT too
